@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full experiments examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The paper's exact operating points (1M-event long intervals).
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner all
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,44 @@
+"""Benchmark harness configuration.
+
+Each bench target regenerates one figure of the paper via its
+experiment module, printing the same rows/series the figure plots and
+saving them under ``benchmarks/results/``.  Timing is reported by
+pytest-benchmark (one round -- these are experiments, not microbenches).
+
+Scale: the ``REPRO_*`` environment variables (see
+:mod:`repro.experiments.base`) control interval lengths and counts;
+``REPRO_FULL=1`` runs the paper's exact operating points.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale.from_env()
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment once under pytest-benchmark, print and save
+    its report."""
+
+    def runner(function, *args, **kwargs):
+        report = benchmark.pedantic(function, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        rendered = report.render()
+        directory = os.path.join(os.path.dirname(__file__), "results")
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{report.experiment}.txt")
+        with open(path, "w") as sink:
+            sink.write(rendered + "\n")
+        with capsys.disabled():
+            print()
+            print(rendered)
+        return report
+
+    return runner

@@ -1,0 +1,28 @@
+"""Bench for the mechanism ablations (extension).
+
+Shape criteria: removing shielding or retaining never helps; 8-bit
+counters cannot represent the full-scale threshold (1,000) and go
+blind with false negatives when run at ``REPRO_FULL`` scale.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def _average(results, label):
+    values = [by_label[label].percent() for by_label in results.values()]
+    return sum(values) / len(values)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(run_experiment, scale):
+    report = run_experiment(ablations.run, scale)
+    results = report.data["results"]
+    best = _average(results, "best")
+    assert _average(results, "no-shield") >= best - 0.01
+    assert _average(results, "no-retain") >= best - 0.01
+    if report.data["threshold_count"] > 255:
+        # An 8-bit counter saturates below the threshold: the profiler
+        # can never observe a crossing and misses everything.
+        assert _average(results, "8b-counters") > 50.0

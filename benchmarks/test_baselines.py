@@ -1,0 +1,27 @@
+"""Bench for the Section 4 baseline comparison (extension).
+
+Shape criteria: the multi-hash profiler matches or beats every other
+family at both operating points with zero software involvement; the
+stratified sampler's software-reconstructed profile is far less
+accurate at the same sampling budget; the hot-spot detector spends a
+meaningful fraction of loop-heavy benchmarks inside detected hot spots
+(it answers a different question, not a worse one).
+"""
+
+import pytest
+
+from repro.experiments import baselines
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baselines(run_experiment, scale):
+    report = run_experiment(baselines.run, scale)
+    for name in scale.benchmarks:
+        short = report.data[name]
+        assert short["MH4"] <= short["BSH"] + 0.01
+        assert short["MH4"] <= short["Stratified"] + 0.01
+        long = report.data[f"{name}/long"]
+        assert long["MH4"] <= long["BSH"] + 0.01
+    hot_fractions = [report.data[name]["hot_fraction"]
+                     for name in scale.benchmarks]
+    assert max(hot_fractions) > 5.0

@@ -1,0 +1,61 @@
+"""Benches for the extension experiments.
+
+* Section 7 area accounting (7 / 16 KB budgets).
+* Stratified-sampler contrast: the baseline needs software (messages,
+  interrupts, overhead) where the multi-hash profiler needs none.
+* Hash-table size ablation (Section 6.3's unshown study): 2 K entries
+  close to larger tables, clearly better than 512.
+* Adaptive interval selection (Section 5.6.1's proposal).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import (adaptive_interval, area_budget,
+                               stratified_baseline, table_size_ablation)
+
+
+@pytest.mark.benchmark(group="area")
+def test_area_budget(run_experiment, scale):
+    report = run_experiment(area_budget.run, scale)
+    assert 6_500 < report.data[("1%", 4)].total_bytes < 7_500
+    assert 15_500 < report.data[("0.1%", 4)].total_bytes < 16_500
+
+
+@pytest.mark.benchmark(group="stratified")
+def test_stratified_baseline(run_experiment, scale):
+    report = run_experiment(stratified_baseline.run, scale)
+    for name, row in report.data.items():
+        assert row["interrupts"] > 0
+        assert row["software_overhead"] > 0.0
+    overheads = [row["software_overhead"]
+                 for row in report.data.values()]
+    # Nontrivial software cost, in the ballpark the papers discuss.
+    assert max(overheads) > 0.005
+
+
+@pytest.mark.benchmark(group="tablesize")
+def test_table_size_ablation(run_experiment, scale):
+    focused = replace(scale, benchmarks=tuple(
+        name for name in scale.benchmarks
+        if name in ("gcc", "go", "sis", "deltablue")) or scale.benchmarks)
+    report = run_experiment(table_size_ablation.run, focused)
+    results = report.data["results"]
+
+    def average(label):
+        values = [by_label[label].percent()
+                  for by_label in results.values()]
+        return sum(values) / len(values)
+
+    # "2K performs almost as well as larger hash-tables, while still
+    # outperforming hash-tables of size 1K or smaller."
+    assert average("2048e") <= average("512e")
+    assert average("2048e") <= average("8192e") + 1.0
+
+
+@pytest.mark.benchmark(group="adaptive")
+def test_adaptive_interval(run_experiment, scale):
+    report = run_experiment(adaptive_interval.run, scale)
+    for name, choice in report.data.items():
+        assert choice.selected in choice.mean_variation

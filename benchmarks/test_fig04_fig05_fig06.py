@@ -1,0 +1,69 @@
+"""Benches for the workload-characterization figures (4, 5, 6).
+
+Shape criteria asserted (per DESIGN.md):
+
+* Figure 4 -- distinct tuples grow strongly with interval length;
+  gcc/go see the most, li/m88ksim the fewest.
+* Figure 5 -- candidate counts are small versus distinct tuples and
+  roughly independent of interval length at the 1 % threshold.
+* Figure 6 -- deltablue is unstable at long intervals but stable at
+  10 K; m88ksim and vortex are the opposite.
+"""
+
+import statistics
+
+import pytest
+
+from repro.experiments import fig04_distinct_tuples, fig05_candidates, fig06_variation
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_distinct_tuples(run_experiment, scale):
+    report = run_experiment(fig04_distinct_tuples.run, scale)
+    lengths = report.data["lengths"]
+    distinct = report.data["distinct"]
+    shortest, longest = lengths[0], lengths[-1]
+    for name in scale.benchmarks:
+        growth = distinct[name][longest] / distinct[name][shortest]
+        # Strong growth with interval length; warm-heavy models (li)
+        # grow sub-linearly, so the bound saturates.
+        assert growth > min(3.5, 0.3 * (longest / shortest))
+    if {"gcc", "go", "li", "m88ksim"} <= set(scale.benchmarks):
+        at_10k = {name: distinct[name][shortest]
+                  for name in scale.benchmarks}
+        ranked = sorted(at_10k, key=at_10k.get, reverse=True)
+        assert set(ranked[:2]) == {"gcc", "go"}
+        assert set(ranked[-2:]) == {"li", "m88ksim"}
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_candidates(run_experiment, scale):
+    report = run_experiment(fig05_candidates.run, scale)
+    lengths = report.data["lengths"]
+    one_percent = report.data["candidates"][0.01]
+    for name in scale.benchmarks:
+        counts = [one_percent[name][length] for length in lengths]
+        # Tiny (tens) and stable across interval lengths.
+        assert max(counts) <= 40
+        assert max(counts) - min(counts) <= 8
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_variation(run_experiment, scale):
+    report = run_experiment(fig06_variation.run, scale)
+    variations = report.data["variations"]
+    short_label = "10K @ 1%"
+    long_label = next(label for label in variations
+                      if label != short_label)
+
+    def median(label, name):
+        series = variations[label][name]
+        return statistics.median(series) if series else 0.0
+
+    if "deltablue" in scale.benchmarks \
+            and scale.long_interval_length >= 500_000:
+        assert median(long_label, "deltablue") > \
+            median(short_label, "deltablue")
+    for name in ("m88ksim", "vortex"):
+        if name in scale.benchmarks:
+            assert median(short_label, name) > median(long_label, name)

@@ -1,0 +1,27 @@
+"""Bench for Figure 7: single-hash retaining/resetting matrix.
+
+Shape criteria: both optimizations reduce total error on average;
+P1-R1 is the best configuration; the long operating point is much
+harder than the short one.
+"""
+
+import pytest
+
+from repro.experiments import fig07_single_hash
+from repro.experiments.sweeps import average_error
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_single_hash(run_experiment, scale):
+    report = run_experiment(fig07_single_hash.run, scale)
+    panels = list(report.data)
+    for panel in panels:
+        results = report.data[panel]
+        averages = {label: average_error(results, label)
+                    for label in ("P0-R0", "P0-R1", "P1-R0", "P1-R1")}
+        assert averages["P1-R1"] == min(averages.values())
+        assert averages["P0-R1"] < averages["P0-R0"]
+        assert averages["P1-R0"] < averages["P0-R0"]
+    short_panel, long_panel = panels
+    assert (average_error(report.data[long_panel], "P0-R0")
+            > average_error(report.data[short_panel], "P0-R0"))

@@ -1,0 +1,26 @@
+"""Bench for Figure 9: theoretical false-positive bound.
+
+Shape criteria: every curve falls to an optimum then rises; the
+optimum moves right with the counter budget; 1,000 entries degrade
+beyond 4 tables (the paper's explicit callout).
+"""
+
+import pytest
+
+from repro.experiments import fig09_theory
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_theory(run_experiment, scale):
+    report = run_experiment(fig09_theory.run, scale)
+    curves = report.data["curves"]
+    optima = report.data["optima"]
+    assert optima[1000] == 4
+    budgets = sorted(optima)
+    assert [optima[b] for b in budgets] == sorted(
+        optima[b] for b in budgets)
+    for budget, curve in curves.items():
+        best = min(range(len(curve)), key=curve.__getitem__)
+        assert all(curve[i] >= curve[i + 1] - 1e-12 for i in range(best))
+        assert all(curve[i] <= curve[i + 1] + 1e-12
+                   for i in range(best, len(curve) - 1))

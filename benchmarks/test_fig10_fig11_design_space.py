@@ -1,0 +1,53 @@
+"""Benches for Figures 10/11: multi-hash C x R design space on gcc/go.
+
+Shape criteria: C1-R0 is the best (or within noise of best)
+configuration on average; conservative update gives a large error
+reduction at high table counts; immediate reset manufactures false
+negatives.
+"""
+
+import pytest
+
+from repro.experiments import fig10_multihash_design
+from repro.metrics import Category
+
+
+def _config_average(results, label):
+    values = [by_label[label].percent() for by_label in results.values()]
+    return sum(values) / len(values)
+
+
+def _assert_design_space_shapes(results):
+    labels = {f"{n}T-C{c}-R{r}" for n in (1, 2, 4, 8)
+              for c in (0, 1) for r in (0, 1)}
+    assert labels == {label for by_label in results.values()
+                      for label in by_label}
+    # Conservative update is a large win at 8 tables (when the C0
+    # configuration suffers at all -- at very short intervals both can
+    # round to zero).
+    c0_average = _config_average(results, "8T-C0-R0")
+    if c0_average > 1.0:
+        assert _config_average(results, "8T-C1-R0") < c0_average / 2
+    # The paper's chosen configuration is at or near the global best.
+    averages = {label: _config_average(results, label)
+                for label in labels}
+    best = min(averages.values())
+    assert averages["4T-C1-R0"] <= max(2.0 * best, best + 1.0)
+    # Immediate reset adds false negatives at 8 tables with C1.
+    fn_r1 = sum(by_label["8T-C1-R1"].breakdown()[Category.FALSE_NEGATIVE]
+                for by_label in results.values())
+    fn_r0 = sum(by_label["8T-C1-R0"].breakdown()[Category.FALSE_NEGATIVE]
+                for by_label in results.values())
+    assert fn_r1 >= fn_r0
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_short_intervals(run_experiment, scale):
+    report = run_experiment(fig10_multihash_design.run, scale)
+    _assert_design_space_shapes(report.data["results"])
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_long_intervals(run_experiment, scale):
+    report = run_experiment(fig10_multihash_design.run_long, scale)
+    _assert_design_space_shapes(report.data["results"])

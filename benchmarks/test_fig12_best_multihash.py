@@ -1,0 +1,36 @@
+"""Bench for Figure 12: best multi-hash vs best single hash (value).
+
+Shape criteria: the 4-table C1-R0 multi-hash beats the best single
+hash on average at both operating points; its average error is under
+1 % at 10 K @ 1 %; and the error grows again toward 16 tables.
+"""
+
+import pytest
+
+from repro.experiments import fig12_best_multihash
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_best_multihash(run_experiment, scale):
+    report = run_experiment(fig12_best_multihash.run, scale)
+    short_label = "10K @ 1%"
+    long_label = next(label for label in report.data
+                      if label.endswith("0.1%"))
+
+    short_averages = report.data[f"{short_label}/averages"]
+    long_averages = report.data[f"{long_label}/averages"]
+
+    # Headline: multi-hash average error under 1 % at the short point.
+    assert short_averages["MH4"] < 1.0
+    # MH4 beats BSH at both operating points.
+    assert short_averages["MH4"] <= short_averages["BSH"]
+    assert long_averages["MH4"] < long_averages["BSH"]
+    # The sweet spot: 4 tables at or near the family minimum, with 16
+    # tables clearly worse.
+    family = {label: long_averages[label]
+              for label in ("MH1", "MH2", "MH4", "MH8", "MH16")}
+    best = min(family.values())
+    assert family["MH4"] <= max(2.0 * best, best + 0.5)
+    assert family["MH16"] > 3.0 * family["MH4"] + 1.0
+    # One table is no better than the single-hash baseline family.
+    assert family["MH1"] > family["MH4"]

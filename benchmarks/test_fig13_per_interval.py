@@ -1,0 +1,28 @@
+"""Bench for Figure 13: per-interval error across profile cycles.
+
+Shape criteria: the best multi-hash removes most of the best single
+hash's per-interval error spikes -- total spike count (cycles over
+10 % error) drops, and the mean per-cycle error falls for the stressed
+benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import fig13_per_interval
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_per_interval(run_experiment, scale):
+    report = run_experiment(fig13_per_interval.run, scale)
+    spikes = report.data["spikes"]
+    total_bsh = sum(bsh for bsh, _ in spikes.values())
+    total_mh4 = sum(mh4 for _, mh4 in spikes.values())
+    assert total_mh4 <= total_bsh
+
+    series = report.data["series"]
+    for name in scale.benchmarks:
+        bsh_mean = sum(series["BSH"][name]) / len(series["BSH"][name])
+        mh4_mean = sum(series["MH4"][name]) / len(series["MH4"][name])
+        # MH4 is at least as accurate per cycle on every benchmark
+        # (small absolute tolerance for near-zero cases).
+        assert mh4_mean <= bsh_mean + 0.005

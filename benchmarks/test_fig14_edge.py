@@ -1,0 +1,24 @@
+"""Bench for Figure 14: best multi-hash for edge profiling.
+
+Shape criteria: the value-profiling conclusions carry over to edge
+streams -- the 4-table multi-hash outperforms the single-table
+configurations and the best single hash on average at the long
+operating point.
+"""
+
+import pytest
+
+from repro.experiments import fig14_edge
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_edge(run_experiment, scale):
+    report = run_experiment(fig14_edge.run, scale)
+    long_label = next(label for label in report.data
+                      if label.endswith("0.1%")
+                      and not label.endswith("averages"))
+    averages = report.data[f"{long_label}/averages"]
+    assert averages["MH4"] <= averages["BSH"]
+    assert averages["MH4"] <= averages["MH1"]
+    short_averages = report.data["10K @ 1%/averages"]
+    assert short_averages["MH4"] < 1.0

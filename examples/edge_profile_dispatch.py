@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Edge-profile an interpreter dispatch loop (the Figure 14 use case).
+
+Multiple-path execution and trace formation (Section 2) need to know
+which control-flow edges dominate.  Here a SimpleAlpha dispatch loop
+jumps through a handler table with a skewed opcode distribution; the
+hardware profiler identifies the hot ``<branch PC, target PC>`` edges
+entirely in hardware, and we compare the captured edge ranking against
+the true one.
+"""
+
+from collections import Counter
+
+from repro.core import IntervalSpec, best_multi_hash
+from repro.core.tuples import EventKind
+from repro.profiling import ProfilingSession, trace_events
+from repro.simulator import dispatch_program
+
+
+def main() -> None:
+    program = dispatch_program(num_handlers=8, code_length=256,
+                               iterations=30, hot_mass=0.85, seed=12)
+    dispatch_pc = program.address_of("dispatch")
+    trace = trace_events(program, EventKind.EDGE)
+    print(f"recorded {len(trace)} control-flow edges")
+
+    spec = IntervalSpec(length=5_000, threshold=0.01)
+    config = best_multi_hash(spec, total_entries=512)
+    result = ProfilingSession(config, keep_profiles=True).run(trace)
+    print(f"profiled {result.summary.num_intervals} intervals; net error "
+          f"{result.summary.percent():.2f}%")
+
+    profile = result.single().profiles[0]
+    hot_dispatch = [(edge, count)
+                    for edge, count in profile.candidates.items()
+                    if edge[0] == dispatch_pc]
+    hot_dispatch.sort(key=lambda kv: -kv[1])
+
+    true_counts = Counter(edge for edge in trace.slice(0, spec.length)
+                          if edge[0] == dispatch_pc)
+    print("\nhot dispatch edges (hardware profile vs true count, "
+          "interval 0):")
+    for (pc, target), count in hot_dispatch:
+        print(f"  dispatch -> {target:#07x}: "
+              f"profiled={count:5d} true={true_counts[(pc, target)]:5d}")
+
+    captured = {edge for edge, _ in hot_dispatch}
+    true_hot = {edge for edge, count in true_counts.items()
+                if count >= spec.threshold_count}
+    recall = len(captured & true_hot) / max(1, len(true_hot))
+    print(f"\nhot-edge recall in interval 0: {100 * recall:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

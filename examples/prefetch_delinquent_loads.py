@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Profile-guided prefetching: close the Section 2 loop.
+
+1. Run a streaming program; a set-associative cache classifies loads,
+   and misses feed the Multi-Hash profiler named per instruction
+   (``<load PC, load PC>`` -- streaming loads miss on ever-new lines,
+   so the PC is the recurring identity) -- pure hardware, no software
+   in the loop.
+2. The captured profile ranks the delinquent loads.
+3. A stride prefetcher is armed for exactly those PCs and the program
+   re-runs: the profiler's output directly buys a miss-rate reduction.
+"""
+
+from repro.clients import delinquent_loads, run_with_prefetcher
+from repro.core import IntervalSpec, best_multi_hash
+from repro.profiling import ProfilingSession
+from repro.simulator import (CacheConfig, Machine, SetAssociativeCache,
+                             assemble)
+from repro.workloads import record
+
+PROGRAM = """
+; two streaming walks with different strides plus a resident scan
+.data small 1, 2, 3, 4, 5, 6, 7, 8
+main:
+    ldi  r10, 200
+outer:
+    beqz r10, done
+    ldi  r1, small
+    ldi  r2, 0
+    ldi  r3, 8
+scan:
+    cmplt r5, r2, r3
+    beqz r5, streamA
+    add  r6, r1, r2
+resident_load:
+    ld   r7, r6, 0
+    addi r2, r2, 1
+    br   scan
+streamA:
+    muli r4, r10, 64
+    addi r4, r4, 0x10000
+streamA_load:
+    ld   r9, r4, 0          ; stride-64 stream
+streamB:
+    muli r4, r10, 24
+    addi r4, r4, 0x400000
+streamB_load:
+    ld   r9, r4, 0          ; stride-24 stream
+    addi r10, r10, -1
+    br   outer
+done:
+    halt
+"""
+
+
+def main() -> None:
+    program = assemble(PROGRAM)
+    cache = SetAssociativeCache(CacheConfig(sets=16, ways=2,
+                                            line_words=8))
+    miss_tuples = []
+
+    machine = Machine(program)
+
+    def classify(pc, address, value):
+        if cache.access(address):
+            miss_tuples.append((pc, pc))
+
+    machine.load_hooks.append(classify)
+    machine.run()
+    print(f"baseline: {cache.stats.accesses} loads, "
+          f"{cache.stats.misses} misses "
+          f"({100 * cache.stats.miss_rate:.1f}%)")
+
+    spec = IntervalSpec(length=200, threshold=0.02)
+    result = ProfilingSession(
+        best_multi_hash(spec, total_entries=512),
+        keep_profiles=True).run(record(miss_tuples))
+    profile = result.single().profiles[0]
+    ranked = delinquent_loads(profile.candidates, top=4)
+
+    symbols = program.symbols
+    names = {symbols[name]: name for name in
+             ("streamA_load", "streamB_load", "resident_load")}
+    print("\ndelinquent loads from the hardware profile:")
+    for pc, weight in ranked:
+        print(f"  pc={pc:#07x} ({names.get(pc, '?'):14s}) "
+              f"profiled miss weight={weight}")
+
+    outcome = run_with_prefetcher(
+        program, profile.candidates,
+        cache_factory=lambda: SetAssociativeCache(
+            CacheConfig(sets=16, ways=2, line_words=8)),
+        top=4, degree=2)
+    print(f"\nwith profile-guided stride prefetching:")
+    print(f"  misses {outcome.baseline_misses} -> "
+          f"{outcome.prefetched_misses} "
+          f"({100 * outcome.miss_reduction:.0f}% reduction)")
+    print(f"  {outcome.issued} prefetches issued, "
+          f"{100 * outcome.prefetch_accuracy:.0f}% useful")
+
+
+if __name__ == "__main__":
+    main()

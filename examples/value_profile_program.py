@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Value-profile a real program running on the SimpleAlpha simulator.
+
+This is the paper's end-to-end deployment story: a program executes, the
+hardware profiler watches committed loads, and at each interval boundary
+the accumulator table holds the frequent ``<load PC, value>`` tuples --
+the inputs a value-specialization or frequent-value-compression engine
+(Section 2) would consume.  No software ever touches the profile.
+
+The program is an interpreter-style mix: an array scan whose contents
+are dominated by a few hot values, plus a dispatch loop.
+"""
+
+from repro.core import IntervalSpec, ProfilerConfig, best_multi_hash
+from repro.core.tuples import EventKind
+from repro.profiling import ProfilingSession, trace_events
+from repro.simulator import Machine, mixed_program
+
+
+def main() -> None:
+    program = mixed_program(array_size=96, num_handlers=6, iterations=40,
+                            seed=11)
+    print(f"assembled program: {len(program)} instructions")
+
+    # One instrumented run records the tuple trace (the ATOM step)...
+    trace = trace_events(program, EventKind.VALUE)
+    print(f"executed; observed {len(trace)} load-value events")
+
+    # ...then the trace replays into the hardware profiler.  Interval
+    # length is chosen so the run spans several profile intervals.
+    spec = IntervalSpec(length=2_000, threshold=0.02)
+    config = best_multi_hash(spec, total_entries=512)
+    result = ProfilingSession(config, keep_profiles=True).run(trace)
+
+    print(f"profiled {result.summary.num_intervals} intervals "
+          f"({spec.length:,} events @ {100 * spec.threshold:g}%)")
+    print(f"net error vs perfect profile: {result.summary.percent():.2f}%")
+
+    profile = result.single().profiles[0]
+    print("\nfrequent <load PC, value> tuples (first interval):")
+    for (pc, value), count in sorted(profile.candidates.items(),
+                                     key=lambda kv: -kv[1])[:8]:
+        print(f"  pc={pc:#07x} value={value:<12d} count={count}")
+
+    # Cross-check against the simulator's ground truth: the hot values
+    # planted in the program's data should dominate the profile.
+    machine = Machine(program)
+    machine.run()
+    print(f"\nsimulator statistics: {machine.state.instructions} "
+          f"instructions, {machine.state.loads} loads, "
+          f"{machine.state.branches} branches")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists
+so ``pip install -e . --no-build-isolation --no-use-pep517`` works on
+environments without the ``wheel`` package (offline machines).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro -- reproduction of "Catching Accurate Profiles in Hardware".
+
+A Python library implementing the HPCA 2003 Multi-Hash hardware
+profiling architecture of Narayanasamy, Sherwood, Sair, Calder and
+Varghese, together with everything its evaluation depends on:
+
+* :mod:`repro.core` -- the interval-based single-hash and multi-hash
+  profilers, the perfect (oracle) profiler, the Stratified Sampler
+  baseline, the paper's hash-function family, the theoretical
+  false-positive model, and the hardware area model;
+* :mod:`repro.metrics` -- the four-way candidate classification and the
+  weighted error metric of Section 5.5;
+* :mod:`repro.simulator` -- a small register-machine ISA, assembler and
+  interpreter standing in for the paper's DEC Alpha + ATOM testbed;
+* :mod:`repro.profiling` -- ATOM-like instrumentation and the session
+  driver that feeds event streams to profilers and scores them;
+* :mod:`repro.workloads` -- per-benchmark synthetic tuple-stream models
+  calibrated to the paper's SPEC / C++ workload statistics, plus trace
+  record/replay;
+* :mod:`repro.experiments` -- one module per evaluation figure,
+  regenerating its rows/series.
+
+Quickstart::
+
+    from repro import (MultiHashProfiler, best_multi_hash,
+                       SHORT_INTERVAL)
+    from repro.workloads import benchmark_stream
+    from repro.profiling import ProfilingSession
+
+    session = ProfilingSession(best_multi_hash(SHORT_INTERVAL))
+    result = session.run(benchmark_stream("gcc", SHORT_INTERVAL,
+                                          num_intervals=20))
+    print(result.summary.percent(), "% error")
+"""
+
+from .core import (LONG_INTERVAL, SHORT_INTERVAL, HardwareProfiler,
+                   HotSpotConfig, HotSpotDetector, IntervalProfile,
+                   IntervalSpec, MultiHashProfiler, PerfectProfiler,
+                   ProfilerConfig, SingleHashProfiler, StratifiedConfig,
+                   StratifiedSampler, TaggedTableConfig,
+                   TaggedTableProfiler, best_multi_hash,
+                   best_single_hash, build_profiler, edge_tuple,
+                   value_tuple)
+from .metrics import Category, ErrorSummary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Category",
+    "HotSpotConfig",
+    "HotSpotDetector",
+    "TaggedTableConfig",
+    "TaggedTableProfiler",
+    "ErrorSummary",
+    "HardwareProfiler",
+    "IntervalProfile",
+    "IntervalSpec",
+    "LONG_INTERVAL",
+    "MultiHashProfiler",
+    "PerfectProfiler",
+    "ProfilerConfig",
+    "SHORT_INTERVAL",
+    "SingleHashProfiler",
+    "StratifiedConfig",
+    "StratifiedSampler",
+    "best_multi_hash",
+    "best_single_hash",
+    "build_profiler",
+    "edge_tuple",
+    "value_tuple",
+    "__version__",
+]

@@ -1,0 +1,199 @@
+"""``repro-profile``: profile streams and traces from the command line.
+
+Subcommands::
+
+    repro-profile stream --benchmark gcc --intervals 10
+        Profile a calibrated benchmark stream and print per-interval
+        candidates and the error summary.
+
+    repro-profile trace mytrace.npz --tables 4
+        Replay a recorded trace (``repro.workloads.traces`` format)
+        through a profiler configuration.
+
+    repro-profile record --benchmark gcc --events 200000 -o gcc.npz
+        Record a benchmark stream (or a synthetic simulator program
+        with ``--program``) to a trace file for later replay.
+
+The profiler configuration flags mirror
+:class:`~repro.core.config.ProfilerConfig`: ``--tables``, ``--entries``,
+``--interval``, ``--threshold``, ``--no-conservative-update``,
+``--resetting``, ``--no-retaining``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import IntervalSpec, ProfilerConfig
+from .core.tuples import EventKind
+from .metrics.reports import format_table
+from .profiling.session import ProfilingSession
+from .workloads.benchmarks import BENCHMARK_NAMES, benchmark_generator
+from .workloads.traces import load_trace, record, save_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="Run the HPCA 2003 multi-hash hardware profiler on "
+                    "streams, traces, or simulated programs")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stream = commands.add_parser(
+        "stream", help="profile a calibrated benchmark stream")
+    _add_workload_flags(stream)
+    _add_profiler_flags(stream)
+    stream.add_argument("--intervals", type=int, default=10,
+                        help="profile intervals to run (default 10)")
+    stream.add_argument("--top", type=int, default=10,
+                        help="candidates to print per interval")
+
+    trace = commands.add_parser(
+        "trace", help="replay a recorded .npz trace")
+    trace.add_argument("path", help="trace file (see 'record')")
+    _add_profiler_flags(trace)
+    trace.add_argument("--top", type=int, default=10,
+                       help="candidates to print per interval")
+
+    recorder = commands.add_parser(
+        "record", help="record a stream to a replayable trace")
+    _add_workload_flags(recorder)
+    recorder.add_argument("--events", type=int, default=100_000,
+                          help="events to record (default 100000)")
+    recorder.add_argument("--program",
+                          choices=["value", "dispatch", "mixed"],
+                          help="record a synthetic simulator program "
+                               "instead of a benchmark stream")
+    recorder.add_argument("-o", "--output", required=True,
+                          help="output .npz path")
+    return parser
+
+
+def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmark", default="gcc",
+                        choices=list(BENCHMARK_NAMES),
+                        help="calibrated workload (default gcc)")
+    parser.add_argument("--kind", default="value",
+                        choices=["value", "edge"],
+                        help="profiling event kind (default value)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="stream seed override")
+
+
+def _add_profiler_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tables", type=int, default=4,
+                        help="hash tables (default 4)")
+    parser.add_argument("--entries", type=int, default=2048,
+                        help="total counters (default 2048)")
+    parser.add_argument("--interval", type=int, default=10_000,
+                        help="interval length in events (default 10000)")
+    parser.add_argument("--threshold", type=float, default=0.01,
+                        help="candidate threshold fraction (default "
+                             "0.01 = 1%%)")
+    parser.add_argument("--no-conservative-update", action="store_true",
+                        help="disable conservative update (C0)")
+    parser.add_argument("--resetting", action="store_true",
+                        help="enable immediate counter reset (R1)")
+    parser.add_argument("--no-retaining", action="store_true",
+                        help="disable accumulator retaining (P0)")
+
+
+def config_from_args(args: argparse.Namespace) -> ProfilerConfig:
+    return ProfilerConfig(
+        interval=IntervalSpec(args.interval, args.threshold),
+        total_entries=args.entries,
+        num_tables=args.tables,
+        conservative_update=(args.tables > 1
+                             and not args.no_conservative_update),
+        resetting=args.resetting,
+        retaining=not args.no_retaining,
+    )
+
+
+def _print_result(result, config: ProfilerConfig, top: int) -> None:
+    print(f"profiler {config.label}: {config.num_tables} x "
+          f"{config.entries_per_table} counters, accumulator "
+          f"{config.accumulator_capacity}, interval "
+          f"{config.interval.length:,} @ "
+          f"{100 * config.interval.threshold:g}%")
+    summary = result.summary
+    profiles = result.single().profiles
+    for profile in profiles:
+        ranked = sorted(profile.candidates.items(),
+                        key=lambda item: -item[1])[:top]
+        rows = [[f"{pc:#x}", f"{value:#x}", count]
+                for (pc, value), count in ranked]
+        print(f"\ninterval {profile.index}: "
+              f"{len(profile.candidates)} candidates, error "
+              f"{100 * summary.intervals[profile.index].total:.3f}%")
+        print(format_table(["pc", "value", "count"], rows))
+    breakdown = summary.breakdown_percent()
+    print(f"\nnet error: {summary.percent():.3f}%  ("
+          + ", ".join(f"{key}={value:.3f}"
+                      for key, value in breakdown.items()) + ")")
+
+
+def _run_stream(args: argparse.Namespace) -> int:
+    config = config_from_args(args)
+    generator = benchmark_generator(args.benchmark,
+                                    EventKind(args.kind), seed=args.seed)
+    session = ProfilingSession(config, keep_profiles=True)
+    result = session.run(generator, max_intervals=args.intervals)
+    _print_result(result, config, args.top)
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    config = config_from_args(args)
+    trace = load_trace(args.path)
+    print(f"loaded {args.path}: {len(trace)} events "
+          f"({trace.kind.value}; source {trace.source or 'unknown'})")
+    session = ProfilingSession(config, keep_profiles=True)
+    result = session.run(trace)
+    if not result.summary.num_intervals:
+        print("trace shorter than one interval; nothing to profile",
+              file=sys.stderr)
+        return 1
+    _print_result(result, config, args.top)
+    return 0
+
+
+def _run_record(args: argparse.Namespace) -> int:
+    kind = EventKind(args.kind)
+    if args.program:
+        from .profiling.atom import trace_events
+        from .simulator.synth import (dispatch_program, mixed_program,
+                                      value_locality_program)
+
+        factories = {"value": value_locality_program,
+                     "dispatch": dispatch_program,
+                     "mixed": mixed_program}
+        trace = trace_events(factories[args.program](), kind)
+        source = f"program:{args.program}"
+    else:
+        generator = benchmark_generator(args.benchmark, kind,
+                                        seed=args.seed)
+        trace = record(generator.events(args.events), kind=kind,
+                       source=f"benchmark:{args.benchmark}")
+        source = trace.source
+    save_trace(trace, args.output)
+    print(f"recorded {len(trace)} {kind.value} events from {source} "
+          f"to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"stream": _run_stream, "trace": _run_trace,
+                "record": _run_record}
+    try:
+        return handlers[args.command](args)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Optimization clients consuming hardware profiles (Section 2).
+
+Each module implements one of the paper's motivating run-time
+optimizations as a consumer of the accumulator table's output:
+
+* :mod:`~repro.clients.value_specialization` -- value-based
+  optimization from ``<load PC, value>`` profiles;
+* :mod:`~repro.clients.trace_formation` -- hot-trace layout from
+  ``<branch PC, target PC>`` profiles;
+* :mod:`~repro.clients.prefetch` -- delinquent-load stride prefetching
+  from ``<load PC, miss line>`` profiles;
+* :mod:`~repro.clients.hard_branches` -- dual-path (Multiple Path
+  Execution) branch selection from misprediction profiles.
+"""
+
+from .hard_branches import (DualPathOutcome, HardBranchSelection,
+                            MispredictionMonitor, evaluate_selection,
+                            misprediction_tuple, select_hard_branches)
+from .prefetch import (PrefetchOutcome, StridePrefetcher, delinquent_loads,
+                       run_with_prefetcher)
+from .trace_formation import (HotTrace, TraceOutcome, TracePlan,
+                              build_edge_graph, evaluate_traces,
+                              form_traces)
+from .value_specialization import (Specialization, SpecializationOutcome,
+                                   SpecializationPlan, evaluate_plan,
+                                   plan_specializations)
+
+__all__ = [
+    "DualPathOutcome",
+    "HardBranchSelection",
+    "HotTrace",
+    "MispredictionMonitor",
+    "PrefetchOutcome",
+    "Specialization",
+    "SpecializationOutcome",
+    "SpecializationPlan",
+    "StridePrefetcher",
+    "TraceOutcome",
+    "TracePlan",
+    "build_edge_graph",
+    "delinquent_loads",
+    "evaluate_plan",
+    "evaluate_selection",
+    "evaluate_traces",
+    "form_traces",
+    "misprediction_tuple",
+    "plan_specializations",
+    "run_with_prefetcher",
+    "select_hard_branches",
+]

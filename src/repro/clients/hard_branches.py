@@ -1,0 +1,117 @@
+"""Hard-branch identification for Multiple Path Execution (Section 2).
+
+Dual-path execution eliminates misprediction stalls but doubles
+resource demand, so it "should not be done on all branches, only those
+that are known to be problematic.  Finding these problematic branches
+is again a task that can be performed by a hardware profiler."
+
+The profiling events here are *mispredictions*: every time a
+conventional predictor is wrong, the tuple ``<branch PC, taken
+direction>`` is emitted.  Branches crossing the candidate threshold are
+the hard branches; this client selects them and scores the selection by
+misprediction coverage -- the share of all stalls that dual-path
+execution on just those branches would attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from ..core.tuples import ProfileTuple, make_tuple
+from ..simulator.branch_predictor import TwoBitPredictor
+from ..simulator.machine import Machine
+
+
+def misprediction_tuple(pc: int, taken: bool) -> ProfileTuple:
+    """Name a misprediction event: ``<branch PC, actual direction>``."""
+    return make_tuple(pc, int(taken))
+
+
+class MispredictionMonitor:
+    """Attach a predictor to a machine and emit misprediction tuples.
+
+    Only *conditional* direction mispredictions count (indirect-target
+    mispredictions are a different mechanism); the machine reports
+    unconditional transfers as taken, which the predictor would learn
+    instantly, so they are filtered by construction of the hook.
+    """
+
+    def __init__(self, machine: Machine, predictor=None, sink=None) -> None:
+        self.machine = machine
+        self.predictor = predictor or TwoBitPredictor()
+        self.sink = sink
+        self.tuples: List[ProfileTuple] = []
+        self.true_mispredicts: Dict[int, int] = {}
+        machine.branch_hooks.append(self._observe)
+
+    def _observe(self, pc: int, target: int, taken: bool) -> None:
+        if self.predictor.update(pc, taken):
+            event = misprediction_tuple(pc, taken)
+            self.tuples.append(event)
+            self.true_mispredicts[pc] = \
+                self.true_mispredicts.get(pc, 0) + 1
+            if self.sink is not None:
+                self.sink(event)
+
+    def detach(self) -> None:
+        self.machine.branch_hooks.remove(self._observe)
+
+
+@dataclass
+class HardBranchSelection:
+    """Branches chosen for dual-path execution."""
+
+    branches: Tuple[int, ...]
+    profiled_weight: Dict[int, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.branches)
+
+
+def select_hard_branches(candidates: Mapping[ProfileTuple, int],
+                         max_branches: int = 8) -> HardBranchSelection:
+    """Pick the branches with the most profiled mispredictions.
+
+    A branch hard in *both* directions (both ``<pc, 0>`` and
+    ``<pc, 1>`` cross the threshold) accumulates both counts -- those
+    alternating branches are dual-path execution's best customers.
+    """
+    if max_branches < 1:
+        raise ValueError(f"max_branches must be >= 1, got {max_branches}")
+    weight: Dict[int, int] = {}
+    for (pc, _direction), count in candidates.items():
+        weight[pc] = weight.get(pc, 0) + count
+    ranked = sorted(weight.items(), key=lambda item: -item[1])
+    chosen = tuple(pc for pc, _ in ranked[:max_branches])
+    return HardBranchSelection(
+        branches=chosen,
+        profiled_weight={pc: weight[pc] for pc in chosen})
+
+
+@dataclass(frozen=True)
+class DualPathOutcome:
+    """Evaluation of a hard-branch selection against ground truth."""
+
+    total_mispredictions: int
+    covered_mispredictions: int
+    selected_branches: int
+
+    @property
+    def coverage(self) -> float:
+        """Share of all mispredictions at selected branches."""
+        if not self.total_mispredictions:
+            return 0.0
+        return self.covered_mispredictions / self.total_mispredictions
+
+
+def evaluate_selection(selection: HardBranchSelection,
+                       true_mispredicts: Mapping[int, int]
+                       ) -> DualPathOutcome:
+    """Score the selection against per-branch misprediction truth."""
+    total = sum(true_mispredicts.values())
+    covered = sum(true_mispredicts.get(pc, 0)
+                  for pc in selection.branches)
+    return DualPathOutcome(total_mispredictions=total,
+                           covered_mispredictions=covered,
+                           selected_branches=len(selection))

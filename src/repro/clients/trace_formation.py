@@ -1,0 +1,175 @@
+"""Hot-trace formation from hardware edge profiles (Section 2).
+
+Trace caches fetch dynamically contiguous code; picking which code to
+lay out needs exactly the frequently-executed edges the profiler
+captures ("a hardware profiling table is needed to track the run-time
+behavior").  This client builds a weighted control-flow multigraph from
+captured ``<branch PC, target PC>`` candidates and grows hot traces
+greedily (most-frequent unconsumed edge first, always following the
+heaviest outgoing edge), then scores how much of an actual execution's
+control flow the formed traces cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..core.tuples import ProfileTuple
+
+
+@dataclass(frozen=True)
+class HotTrace:
+    """One formed trace: the edge path and its profiled weight."""
+
+    edges: Tuple[ProfileTuple, ...]
+    weight: int
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    @property
+    def head(self) -> int:
+        return self.edges[0][0]
+
+
+@dataclass
+class TracePlan:
+    """The formed traces plus the graph they came from."""
+
+    traces: List[HotTrace] = field(default_factory=list)
+    total_profiled_weight: int = 0
+
+    @property
+    def covered_weight(self) -> int:
+        return sum(trace.weight for trace in self.traces)
+
+    @property
+    def coverage(self) -> float:
+        """Share of profiled edge weight inside formed traces."""
+        if not self.total_profiled_weight:
+            return 0.0
+        return self.covered_weight / self.total_profiled_weight
+
+    def edge_set(self) -> Set[ProfileTuple]:
+        return {edge for trace in self.traces for edge in trace.edges}
+
+
+def build_edge_graph(candidates: Mapping[ProfileTuple, int]) -> nx.DiGraph:
+    """Weighted CFG digraph from captured edge candidates.
+
+    Nodes are PCs; a profiled edge ``<branch, target>`` contributes a
+    directed edge with its profiled count as weight.  The branch PC is
+    the block terminator, so chaining ``target -> next branch`` is
+    approximated by connecting an edge's target to every branch that
+    executes after it -- unknown to the profiler -- hence traces here
+    follow *edges whose source is the previous edge's target's block*;
+    with tuple granularity we conservatively chain ``(a, b)`` to
+    ``(b', c)`` when ``b <= b' < b + MAX_BLOCK_BYTES``.
+    """
+    graph = nx.DiGraph()
+    for (branch_pc, target_pc), count in candidates.items():
+        if graph.has_edge(branch_pc, target_pc):
+            graph[branch_pc][target_pc]["weight"] += count
+        else:
+            graph.add_edge(branch_pc, target_pc, weight=count)
+    return graph
+
+
+#: Fall-through window used to chain an edge's target to the next
+#: branch: a basic block longer than this is assumed cold-terminated.
+MAX_BLOCK_BYTES = 128
+
+
+def form_traces(candidates: Mapping[ProfileTuple, int],
+                max_traces: int = 8,
+                max_trace_edges: int = 8,
+                min_edge_weight: int = 1) -> TracePlan:
+    """Greedy hot-trace growing over the profiled edges.
+
+    Repeatedly seeds a trace at the heaviest unconsumed edge and
+    extends it through the heaviest chainable successor edge until the
+    next edge is consumed, too cold, would revisit a block already in
+    the trace, or the length limit is reached.
+    """
+    if max_traces < 1 or max_trace_edges < 1:
+        raise ValueError("max_traces and max_trace_edges must be >= 1")
+    remaining: Dict[ProfileTuple, int] = {
+        edge: count for edge, count in candidates.items()
+        if count >= min_edge_weight}
+    plan = TracePlan(total_profiled_weight=sum(candidates.values()))
+    by_source: Dict[int, List[ProfileTuple]] = {}
+    for edge in remaining:
+        by_source.setdefault(edge[0], []).append(edge)
+
+    for _ in range(max_traces):
+        if not remaining:
+            break
+        seed = max(remaining, key=remaining.get)
+        trace_edges = [seed]
+        weight = remaining.pop(seed)
+        visited = {seed[0]}
+        current_target = seed[1]
+        while len(trace_edges) < max_trace_edges:
+            successor = _heaviest_successor(current_target, remaining,
+                                            by_source)
+            if successor is None or successor[0] in visited:
+                break
+            trace_edges.append(successor)
+            weight += remaining.pop(successor)
+            visited.add(successor[0])
+            current_target = successor[1]
+        plan.traces.append(HotTrace(edges=tuple(trace_edges),
+                                    weight=weight))
+    return plan
+
+
+def _heaviest_successor(target: int,
+                        remaining: Mapping[ProfileTuple, int],
+                        by_source: Mapping[int, Sequence[ProfileTuple]]
+                        ):
+    best = None
+    best_weight = 0
+    for source in by_source:
+        if not target <= source < target + MAX_BLOCK_BYTES:
+            continue
+        for edge in by_source[source]:
+            weight = remaining.get(edge)
+            if weight is not None and weight > best_weight:
+                best, best_weight = edge, weight
+    return best
+
+
+@dataclass(frozen=True)
+class TraceOutcome:
+    """Evaluation of formed traces against an executed edge stream."""
+
+    executed_edges: int
+    covered_edges: int
+
+    @property
+    def fetch_coverage(self) -> float:
+        """Share of executed control transfers inside formed traces."""
+        if not self.executed_edges:
+            return 0.0
+        return self.covered_edges / self.executed_edges
+
+
+def evaluate_traces(plan: TracePlan,
+                    edges: Iterable[ProfileTuple]) -> TraceOutcome:
+    """Score *plan* on an actual edge stream.
+
+    Each executed edge counts as covered when it belongs to any formed
+    trace -- the fraction of fetches a trace cache built from this plan
+    could serve.
+    """
+    members = plan.edge_set()
+    executed = 0
+    covered = 0
+    for edge in edges:
+        executed += 1
+        if edge in members:
+            covered += 1
+    return TraceOutcome(executed_edges=executed, covered_edges=covered)

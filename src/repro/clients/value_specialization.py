@@ -1,0 +1,130 @@
+"""Value specialization driven by hardware value profiles (Section 2).
+
+Calder et al. gathered value profiles with ATOM to drive value
+specialization; Zhang et al. found ~50 % of accesses dominated by ten
+values.  This client closes the loop with our profiler: given an
+interval's captured ``<load PC, value>`` candidates, it plans which
+loads to specialize on which value, and evaluates the plan against an
+actual execution trace -- how often the guarded fast path would hit,
+and the resulting cycle saving under a simple latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..core.tuples import ProfileTuple
+
+
+@dataclass(frozen=True)
+class Specialization:
+    """One planned specialization: guard loads at *pc* against *value*.
+
+    ``profiled_count`` is the profiler's count for the tuple;
+    ``profiled_share`` is its share of the PC's profiled activity.
+    """
+
+    pc: int
+    value: int
+    profiled_count: int
+    profiled_share: float
+
+
+@dataclass
+class SpecializationPlan:
+    """The set of load specializations chosen from one profile."""
+
+    specializations: List[Specialization] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.specializations)
+
+    def chosen_values(self) -> Dict[int, int]:
+        """Primary specialized value per PC (the highest-count one)."""
+        values: Dict[int, int] = {}
+        for item in self.specializations:
+            values.setdefault(item.pc, item.value)
+        return values
+
+    def pcs(self) -> Tuple[int, ...]:
+        return tuple({item.pc for item in self.specializations})
+
+
+def plan_specializations(candidates: Mapping[ProfileTuple, int],
+                         min_share: float = 0.5,
+                         max_values_per_pc: int = 1
+                         ) -> SpecializationPlan:
+    """Choose specializations from a captured value profile.
+
+    For each load PC appearing in *candidates*, its values are ranked
+    by profiled count; a value is specialized when it accounts for at
+    least *min_share* of the PC's profiled occurrences (the classic
+    "semi-invariant load" criterion).  At most *max_values_per_pc*
+    values are taken per PC.
+    """
+    if not 0.0 < min_share <= 1.0:
+        raise ValueError(f"min_share must be in (0, 1], got {min_share}")
+    if max_values_per_pc < 1:
+        raise ValueError(f"max_values_per_pc must be >= 1, got "
+                         f"{max_values_per_pc}")
+    by_pc: Dict[int, List[Tuple[int, int]]] = {}
+    for (pc, value), count in candidates.items():
+        by_pc.setdefault(pc, []).append((value, count))
+    plan = SpecializationPlan()
+    for pc, values in sorted(by_pc.items()):
+        total = sum(count for _, count in values)
+        values.sort(key=lambda item: -item[1])
+        for value, count in values[:max_values_per_pc]:
+            share = count / total
+            if share >= min_share:
+                plan.specializations.append(Specialization(
+                    pc=pc, value=value, profiled_count=count,
+                    profiled_share=share))
+    plan.specializations.sort(key=lambda item: -item.profiled_count)
+    return plan
+
+
+@dataclass(frozen=True)
+class SpecializationOutcome:
+    """Evaluation of a plan against an actual execution trace."""
+
+    guarded_loads: int
+    fast_hits: int
+    cycles_saved: float
+
+    @property
+    def hit_rate(self) -> float:
+        """How often the guarded fast path actually fired."""
+        if not self.guarded_loads:
+            return 0.0
+        return self.fast_hits / self.guarded_loads
+
+
+def evaluate_plan(plan: SpecializationPlan,
+                  events: Iterable[ProfileTuple],
+                  load_latency: float = 3.0,
+                  guard_cost: float = 1.0) -> SpecializationOutcome:
+    """Replay *events* (``<pc, value>`` tuples) against *plan*.
+
+    Every event at a specialized PC pays *guard_cost*; when the value
+    matches the specialization the *load_latency* is saved.  A plan
+    whose specializations rarely hit therefore shows a net loss --
+    exactly the danger of false positives the paper's error metric is
+    designed to expose.
+    """
+    specialized = {}
+    for item in plan.specializations:
+        specialized.setdefault(item.pc, set()).add(item.value)
+    guarded = 0
+    hits = 0
+    for pc, value in events:
+        values = specialized.get(pc)
+        if values is None:
+            continue
+        guarded += 1
+        if value in values:
+            hits += 1
+    saved = hits * load_latency - guarded * guard_cost
+    return SpecializationOutcome(guarded_loads=guarded, fast_hits=hits,
+                                 cycles_saved=saved)

@@ -1,0 +1,68 @@
+"""Core profiling architectures from the paper.
+
+Public surface:
+
+* event naming -- :func:`~repro.core.tuples.value_tuple`,
+  :func:`~repro.core.tuples.edge_tuple`
+* operating points -- :data:`~repro.core.config.SHORT_INTERVAL`,
+  :data:`~repro.core.config.LONG_INTERVAL`,
+  :class:`~repro.core.config.IntervalSpec`,
+  :class:`~repro.core.config.ProfilerConfig`
+* profilers -- :class:`~repro.core.perfect.PerfectProfiler`,
+  :class:`~repro.core.single_hash.SingleHashProfiler`,
+  :class:`~repro.core.multi_hash.MultiHashProfiler`,
+  :class:`~repro.core.stratified.StratifiedSampler`
+* analysis -- :mod:`repro.core.theory`, :mod:`repro.core.area`
+"""
+
+from .base import HardwareProfiler, IntervalProfile, ProfilerStats
+from .config import (DEFAULT_COUNTER_BITS, DEFAULT_TOTAL_ENTRIES,
+                     LONG_INTERVAL, SHORT_INTERVAL, IntervalSpec,
+                     ProfilerConfig, best_multi_hash, best_single_hash)
+from .hotspot import HotSpotConfig, HotSpotDetector
+from .tagged_table import (TaggedTableConfig, TaggedTableProfiler,
+                           area_equivalent_config)
+from .hashing import HashFunctionFamily, TupleHashFunction, flip, xor_fold
+from .multi_hash import MultiHashProfiler, build_profiler
+from .perfect import PerfectProfiler
+from .single_hash import SingleHashProfiler
+from .stratified import StratifiedConfig, StratifiedSampler
+from .tables import AccumulatorEntry, AccumulatorTable, CounterTable
+from .tuples import EventKind, ProfileTuple, edge_tuple, make_tuple, value_tuple
+
+__all__ = [
+    "area_equivalent_config",
+    "TaggedTableProfiler",
+    "TaggedTableConfig",
+    "HotSpotDetector",
+    "HotSpotConfig",
+    "AccumulatorEntry",
+    "AccumulatorTable",
+    "CounterTable",
+    "DEFAULT_COUNTER_BITS",
+    "DEFAULT_TOTAL_ENTRIES",
+    "EventKind",
+    "HardwareProfiler",
+    "HashFunctionFamily",
+    "IntervalProfile",
+    "IntervalSpec",
+    "LONG_INTERVAL",
+    "MultiHashProfiler",
+    "PerfectProfiler",
+    "ProfileTuple",
+    "ProfilerConfig",
+    "ProfilerStats",
+    "SHORT_INTERVAL",
+    "SingleHashProfiler",
+    "StratifiedConfig",
+    "StratifiedSampler",
+    "TupleHashFunction",
+    "best_multi_hash",
+    "best_single_hash",
+    "build_profiler",
+    "edge_tuple",
+    "flip",
+    "make_tuple",
+    "value_tuple",
+    "xor_fold",
+]

@@ -1,0 +1,169 @@
+"""Hot-spot detection baseline (Merten et al., Section 4.1.3).
+
+Merten's hardware profiler watches *branches*: a tagged Branch Behavior
+Buffer (BBB) counts per-branch executions, a branch whose counter
+crosses a candidate threshold is flagged, and a global saturating
+Hot Spot Detection Counter (HDC) moves down when an executed branch is
+a flagged candidate and up when it is not.  When the HDC saturates low,
+execution is inside a hot spot and the flagged branches describe it.
+
+This is the paper's "identify program hot spots" relative: it finds
+*regions*, not accurate per-event counts.  Implemented here over edge
+tuples so it can run on the same streams; the per-interval "profile" it
+reports is the flagged-branch counts, which the shared error metric
+then scores -- quantifying the paper's point that hot-spot detectors
+and accurate-profile catchers answer different questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .base import HardwareProfiler
+from .config import IntervalSpec
+from .hashing import HashFunctionFamily, TupleHashFunction
+from .tuples import ProfileTuple
+
+
+@dataclass(frozen=True)
+class HotSpotConfig:
+    """BBB geometry plus HDC dynamics.
+
+    ``candidate_threshold`` is the BBB execution count that flags a
+    branch.  The HDC starts at ``hdc_max``, moves down by
+    ``hdc_decrement`` on candidate branches and up by ``hdc_increment``
+    otherwise; at or below zero a hot spot is active.  (Merten's values:
+    4K-entry BBB, 16 exec threshold, 2:1 down/up ratio.)
+    """
+
+    interval: IntervalSpec
+    sets: int = 512
+    ways: int = 2
+    candidate_threshold: int = 16
+    hdc_max: int = 8_192
+    hdc_decrement: int = 2
+    hdc_increment: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sets <= 0 or self.sets & (self.sets - 1):
+            raise ValueError(f"sets must be a positive power of two, "
+                             f"got {self.sets}")
+        if self.ways < 1:
+            raise ValueError(f"ways must be >= 1, got {self.ways}")
+        if self.candidate_threshold < 1:
+            raise ValueError(f"candidate_threshold must be >= 1, got "
+                             f"{self.candidate_threshold}")
+        if self.hdc_max < 1 or self.hdc_decrement < 1 \
+                or self.hdc_increment < 1:
+            raise ValueError("HDC parameters must be positive")
+
+    @property
+    def index_bits(self) -> int:
+        return self.sets.bit_length() - 1
+
+
+@dataclass
+class _BranchEntry:
+    event: ProfileTuple
+    executions: int
+    candidate: bool
+    stamp: int
+
+
+class HotSpotDetector(HardwareProfiler):
+    """Merten-style BBB + HDC hot-spot monitor over edge tuples."""
+
+    def __init__(self, config: HotSpotConfig,
+                 hash_function: Optional[TupleHashFunction] = None) -> None:
+        super().__init__(config.interval)
+        self.config = config
+        self.hash_function = hash_function or HashFunctionFamily(
+            config.index_bits, seed=0x40F5)[0]
+        self._sets = [dict() for _ in range(config.sets)]
+        self._next_stamp = 0
+        self._hdc = config.hdc_max
+        #: Events observed while the HDC was saturated low.
+        self.hot_events = 0
+        #: Number of entries into the hot state.
+        self.hot_entries = 0
+        self._in_hot_spot = False
+        self._index_cache: Dict[ProfileTuple, int] = {}
+
+    @property
+    def name(self) -> str:
+        return f"HotSpot(t={self.config.candidate_threshold})"
+
+    @property
+    def in_hot_spot(self) -> bool:
+        """Whether the detector currently reports a hot spot."""
+        return self._in_hot_spot
+
+    def observe(self, event: ProfileTuple) -> None:
+        self._count_event()
+        entry = self._touch(event)
+        config = self.config
+        if entry is not None and entry.candidate:
+            self._hdc = max(0, self._hdc - config.hdc_decrement)
+        else:
+            self._hdc = min(config.hdc_max,
+                            self._hdc + config.hdc_increment)
+        was_hot = self._in_hot_spot
+        self._in_hot_spot = self._hdc == 0
+        if self._in_hot_spot:
+            self.hot_events += 1
+            if not was_hot:
+                self.hot_entries += 1
+
+    def _touch(self, event: ProfileTuple) -> Optional[_BranchEntry]:
+        index = self._index_of(event)
+        ways = self._sets[index]
+        entry = ways.get(event)
+        if entry is not None:
+            entry.executions += 1
+            entry.stamp = self._next_stamp
+            self._next_stamp += 1
+            if (not entry.candidate
+                    and entry.executions
+                    >= self.config.candidate_threshold):
+                entry.candidate = True
+            self.stats.hash_updates += 1
+            return entry
+        if len(ways) >= self.config.ways:
+            victim = min(ways.values(),
+                         key=lambda e: (e.candidate, e.executions,
+                                        e.stamp))
+            if victim.candidate:
+                return None  # set full of candidates: drop
+            del ways[victim.event]
+        ways[event] = _BranchEntry(event=event, executions=1,
+                                   candidate=False,
+                                   stamp=self._next_stamp)
+        self._next_stamp += 1
+        self.stats.hash_updates += 1
+        return ways[event]
+
+    def _close_interval(self) -> Dict[ProfileTuple, int]:
+        report = {entry.event: entry.executions
+                  for ways in self._sets for entry in ways.values()
+                  if entry.candidate
+                  and entry.executions >= self.interval.threshold_count}
+        for index in range(len(self._sets)):
+            self._sets[index] = {}
+        self._hdc = self.config.hdc_max
+        self._in_hot_spot = False
+        return report
+
+    def hot_fraction(self) -> float:
+        """Share of observed events inside detected hot spots."""
+        if not self.stats.events:
+            return 0.0
+        return self.hot_events / self.stats.events
+
+    def _index_of(self, event: ProfileTuple) -> int:
+        cache = self._index_cache
+        index = cache.get(event)
+        if index is None:
+            index = self.hash_function(event)
+            cache[event] = index
+        return index

@@ -1,0 +1,63 @@
+"""The perfect (oracle) interval profiler.
+
+Counts every tuple exactly and reports all tuples at or above the
+candidate threshold each interval.  It is the reference against which
+hardware profiles are scored (Section 5.5.1) and also powers the
+candidate-tuple analysis of Figures 4-6, which needs exact per-interval
+distinct-tuple and candidate counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import HardwareProfiler
+from .config import IntervalSpec
+from .tuples import ProfileTuple
+
+
+class PerfectProfiler(HardwareProfiler):
+    """Exact per-interval tuple counting (unbounded storage).
+
+    Besides candidate reporting, it tracks the number of *distinct*
+    tuples seen in the current interval (:attr:`distinct_this_interval`)
+    and a running history of per-interval distinct counts
+    (:attr:`distinct_history`) for the Figure 4 analysis.
+    """
+
+    def __init__(self, interval: IntervalSpec) -> None:
+        super().__init__(interval)
+        self._counts: Dict[ProfileTuple, int] = {}
+        #: Distinct tuples seen in each closed interval, in order.
+        self.distinct_history: list[int] = []
+
+    @property
+    def name(self) -> str:
+        return "Perfect"
+
+    @property
+    def distinct_this_interval(self) -> int:
+        """Distinct tuples observed so far in the open interval."""
+        return len(self._counts)
+
+    def observe(self, event: ProfileTuple) -> None:
+        self._count_event()
+        counts = self._counts
+        counts[event] = counts.get(event, 0) + 1
+
+    def interval_counts(self) -> Dict[ProfileTuple, int]:
+        """Exact counts of every tuple in the open interval.
+
+        Error analysis snapshots this *before* :meth:`end_interval` so
+        false positives can be scored against their true sub-threshold
+        frequency (Section 5.5.2).
+        """
+        return dict(self._counts)
+
+    def _close_interval(self) -> Dict[ProfileTuple, int]:
+        threshold = self.interval.threshold_count
+        report = {event: count for event, count in self._counts.items()
+                  if count >= threshold}
+        self.distinct_history.append(len(self._counts))
+        self._counts.clear()
+        return report

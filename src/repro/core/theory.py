@@ -1,0 +1,101 @@
+"""Theoretical false-positive analysis of the multi-hash profiler.
+
+Section 6.2 derives a loose upper bound on the probability that an
+input tuple becomes a false positive.  With a candidate threshold of
+``t`` percent there can be at most ``100/t`` counters at or above the
+threshold.  A single table of ``Z`` counters therefore turns a tuple
+into a false positive with probability at most ``100/(tZ)``.  Splitting
+the same ``Z`` counters over ``n`` independent tables of ``Z/n``
+entries, a tuple must alias onto an above-threshold counter in *every*
+table::
+
+    p(n) = (100 * n / (t * Z)) ** n
+
+The bound falls with ``n`` up to an optimum and then rises again as the
+per-table aliasing probability grows -- the shape behind Figure 9 and
+the empirical optimum of 4 tables in Figures 10-12.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+#: Total-entry curves plotted in Figure 9.
+FIGURE9_ENTRY_CURVES = (500, 1000, 2000, 4000, 8000)
+
+#: Table counts on Figure 9's x-axis.
+FIGURE9_TABLE_COUNTS = tuple(range(1, 17))
+
+
+def false_positive_probability(num_tables: int, total_entries: int,
+                               threshold_percent: float) -> float:
+    """Upper bound on the per-tuple false-positive probability.
+
+    Parameters mirror the paper: *total_entries* counters split evenly
+    over *num_tables* tables, with a candidate threshold of
+    *threshold_percent* (``1.0`` means 1 %).  The returned probability
+    is clamped to 1.0, since the derivation is a union-bound style
+    argument that can exceed one when a single table is overloaded.
+    """
+    if num_tables < 1:
+        raise ValueError(f"num_tables must be >= 1, got {num_tables}")
+    if total_entries < num_tables:
+        raise ValueError(
+            f"total_entries ({total_entries}) must provide at least one "
+            f"counter per table ({num_tables})")
+    if threshold_percent <= 0:
+        raise ValueError(f"threshold_percent must be positive, "
+                         f"got {threshold_percent}")
+    per_table = 100.0 * num_tables / (threshold_percent * total_entries)
+    return min(1.0, per_table ** num_tables)
+
+
+def false_positive_curve(total_entries: int,
+                         threshold_percent: float = 1.0,
+                         table_counts: Sequence[int] = FIGURE9_TABLE_COUNTS
+                         ) -> List[float]:
+    """One Figure 9 curve: FP probability for each table count."""
+    return [false_positive_probability(n, total_entries, threshold_percent)
+            for n in table_counts]
+
+
+def figure9_curves(threshold_percent: float = 1.0,
+                   entry_curves: Sequence[int] = FIGURE9_ENTRY_CURVES,
+                   table_counts: Sequence[int] = FIGURE9_TABLE_COUNTS
+                   ) -> Dict[int, List[float]]:
+    """All Figure 9 curves keyed by total entry count."""
+    return {entries: false_positive_curve(entries, threshold_percent,
+                                          table_counts)
+            for entries in entry_curves}
+
+
+def optimal_table_count(total_entries: int,
+                        threshold_percent: float = 1.0,
+                        max_tables: int = 64) -> int:
+    """Table count minimizing the bound for a fixed counter budget.
+
+    The continuous optimum of ``(an)^n`` with ``a = 100/(tZ)`` is
+    ``n = 1/(a e)``; this searches the integer neighbourhood (bounded by
+    *max_tables* and by one counter per table).
+    """
+    best_n = 1
+    best_p = false_positive_probability(1, total_entries,
+                                        threshold_percent)
+    limit = min(max_tables, total_entries)
+    for n in range(2, limit + 1):
+        p = false_positive_probability(n, total_entries, threshold_percent)
+        if p < best_p:
+            best_n, best_p = n, p
+    return best_n
+
+
+def continuous_optimal_table_count(total_entries: int,
+                                   threshold_percent: float = 1.0) -> float:
+    """Closed-form continuous optimum ``n* = tZ / (100 e)``.
+
+    Exposed so tests can check the integer search lands within one of
+    the analytic optimum.
+    """
+    alpha = 100.0 / (threshold_percent * total_entries)
+    return 1.0 / (alpha * math.e)

@@ -1,0 +1,84 @@
+"""Profiling events and their unique names ("tuples").
+
+The paper (Section 3) names every profiling event with a *tuple*: a pair of
+integer values that uniquely identifies the event fed to the profiler.
+
+* value profiling uses ``<load PC, loaded value>``
+* edge profiling uses ``<branch PC, branch target PC>``
+
+For speed the profilers treat tuples as plain Python ``(int, int)`` pairs;
+this module provides the type alias, constructors that validate and
+normalize raw fields, and the :class:`EventKind` vocabulary used by the
+instrumentation layer (:mod:`repro.profiling`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+#: A profiling event name: ``(primary, secondary)``.  For value profiling
+#: this is ``(pc, value)``; for edge profiling ``(branch_pc, target_pc)``.
+ProfileTuple = Tuple[int, int]
+
+#: Number of bits in each tuple member as seen by the hardware hash
+#: function.  The paper models a 64-bit Alpha, so fields are folded into
+#: 64 bits before hashing.
+FIELD_BITS = 64
+
+#: Mask applied to each tuple member.
+FIELD_MASK = (1 << FIELD_BITS) - 1
+
+
+class EventKind(enum.Enum):
+    """The class of profiling event a tuple was derived from.
+
+    The profiler itself is agnostic to the kind -- it consumes opaque
+    tuples -- but workload generators and the instrumentation layer tag
+    streams with a kind so experiments can select the matching model
+    (Figures 4-13 use ``VALUE``; Figure 14 uses ``EDGE``).
+    """
+
+    #: ``<load PC, loaded value>`` (Section 3, after Sastry et al.).
+    VALUE = "value"
+    #: ``<branch PC, branch target PC>``.
+    EDGE = "edge"
+    #: ``<load PC, miss address>`` -- the cache-miss motivation of
+    #: Section 2; used by the extension example, not by the paper's own
+    #: evaluation.
+    CACHE_MISS = "cache_miss"
+
+
+def make_tuple(primary: int, secondary: int) -> ProfileTuple:
+    """Build a profile tuple from two raw integer fields.
+
+    Fields are masked to :data:`FIELD_BITS` bits, mirroring what a
+    fixed-width hardware datapath would latch.  Negative values are
+    folded into their two's-complement bit pattern first, so e.g. a
+    register holding ``-1`` profiles as ``0xFFFF_FFFF_FFFF_FFFF``.
+    """
+    return (primary & FIELD_MASK, secondary & FIELD_MASK)
+
+
+def value_tuple(pc: int, value: int) -> ProfileTuple:
+    """Name a value-profiling event ``<load PC, loaded value>``."""
+    return make_tuple(pc, value)
+
+
+def edge_tuple(branch_pc: int, target_pc: int) -> ProfileTuple:
+    """Name an edge-profiling event ``<branch PC, target PC>``."""
+    return make_tuple(branch_pc, target_pc)
+
+
+def is_valid_tuple(candidate: object) -> bool:
+    """Return ``True`` when *candidate* is a well-formed profile tuple.
+
+    Used by the public entry points to fail fast on malformed input;
+    the inner event loops assume validated tuples.
+    """
+    if not isinstance(candidate, tuple) or len(candidate) != 2:
+        return False
+    primary, secondary = candidate
+    if not isinstance(primary, int) or not isinstance(secondary, int):
+        return False
+    return 0 <= primary <= FIELD_MASK and 0 <= secondary <= FIELD_MASK

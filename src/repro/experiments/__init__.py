@@ -1,0 +1,18 @@
+"""Experiment harness: one module per evaluation figure.
+
+Import :data:`~repro.experiments.base.EXPERIMENTS` (populated by
+importing this package) to run figures programmatically, or use the
+``repro-experiments`` CLI.
+"""
+
+from .base import EXPERIMENTS, ExperimentReport, ExperimentScale
+
+# Register every experiment.
+from . import (ablations, adaptive_interval, area_budget, baselines,  # noqa: F401
+               fig04_distinct_tuples,  # noqa: F401,E402
+               fig05_candidates, fig06_variation, fig07_single_hash,
+               fig09_theory, fig10_multihash_design, fig12_best_multihash,
+               fig13_per_interval, fig14_edge, stratified_baseline,
+               table_size_ablation)
+
+__all__ = ["EXPERIMENTS", "ExperimentReport", "ExperimentScale"]

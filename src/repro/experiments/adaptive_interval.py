@@ -1,0 +1,48 @@
+"""Extension: adaptive interval-length selection (Section 5.6.1).
+
+Runs the :mod:`repro.profiling.adaptive` selector over every benchmark
+and reports the chosen interval length alongside the candidate-set
+stability at each probed length.  Expected shape, from Figure 6's
+discussion: m88ksim and vortex prefer long intervals (their 10 K
+candidate sets fluctuate), while deltablue prefers short ones (its
+coarse phases destabilize long intervals).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.tuples import EventKind
+from ..metrics.reports import format_table
+from ..profiling.adaptive import select_interval_length
+from ..workloads.benchmarks import benchmark_generator
+from .base import ExperimentReport, ExperimentScale, experiment
+
+
+@experiment("adaptive")
+def run(scale: ExperimentScale = None,
+        kind: EventKind = EventKind.VALUE) -> ExperimentReport:
+    """Select an interval length per benchmark and tabulate stability."""
+    scale = scale or ExperimentScale.from_env()
+    lengths = sorted({10_000, 50_000, scale.long_interval_length})
+    rows: List[List[object]] = []
+    data = {}
+    for name in scale.benchmarks:
+        generator = benchmark_generator(name, kind)
+        choice = select_interval_length(
+            generator, lengths,
+            intervals_per_length=max(4, scale.long_intervals))
+        data[name] = choice
+        rows.append([name, f"{choice.selected:,}"]
+                    + [round(choice.mean_variation[length], 1)
+                       for length in lengths])
+    report = ExperimentReport(
+        experiment="adaptive",
+        title="adaptive profile-interval selection",
+        data=data,
+    )
+    report.add_table(
+        "selected length and mean % candidate variation per length",
+        format_table(["benchmark", "selected"]
+                     + [f"var@{length:,}" for length in lengths], rows))
+    return report

@@ -1,0 +1,53 @@
+"""Section 7 area accounting: 7-16 KB total profiler storage.
+
+The paper's hardware budget: a 6 KB hash table (2 K entries of 3-byte
+counters, however many tables it is split into) plus a 1 KB accumulator
+at the 1 % threshold (100 entries) or 10 KB at 0.1 % (1,000 entries).
+This experiment reproduces the arithmetic for the evaluated
+configurations and compares against the stratified-sampler baseline's
+storage.
+"""
+
+from __future__ import annotations
+
+from ..core.area import profiler_area, stratified_area
+from ..core.config import (LONG_INTERVAL, SHORT_INTERVAL, ProfilerConfig)
+from ..core.stratified import StratifiedConfig
+from ..metrics.reports import format_table
+from .base import ExperimentReport, ExperimentScale, experiment
+
+
+@experiment("area")
+def run(scale: ExperimentScale = None) -> ExperimentReport:
+    """Tabulate storage for the paper's operating points."""
+    del scale  # pure arithmetic; nothing to scale
+    rows = []
+    data = {}
+    for threshold_label, spec in (("1%", SHORT_INTERVAL),
+                                  ("0.1%", LONG_INTERVAL)):
+        for tables in (1, 2, 4, 8, 16):
+            config = ProfilerConfig(interval=spec, num_tables=tables,
+                                    conservative_update=tables > 1)
+            area = profiler_area(config)
+            rows.append([f"{config.label} @ {threshold_label}",
+                         area.hash_table_bytes,
+                         area.accumulator_bytes,
+                         round(area.total_kilobytes, 2)])
+            data[(threshold_label, tables)] = area
+    stratified = stratified_area(StratifiedConfig(interval=SHORT_INTERVAL))
+    rows.append(["Stratified (Sastry et al.)",
+                 stratified.hash_table_bytes,
+                 stratified.accumulator_bytes,
+                 round(stratified.total_kilobytes, 2)])
+    data["stratified"] = stratified
+
+    report = ExperimentReport(
+        experiment="area",
+        title="hardware storage budget (Section 7)",
+        data=data,
+    )
+    report.add_table(
+        "bytes per structure",
+        format_table(["configuration", "hash bytes", "accum bytes",
+                      "total KB"], rows))
+    return report

@@ -1,0 +1,58 @@
+"""Figure 4: number of distinct tuples seen in an interval.
+
+The paper plots, per benchmark, the average number of distinct value
+tuples per interval for 10 K, 100 K and 1 M interval lengths (log
+scale), observing (a) gcc/go see the most distinct tuples and (b) the
+count grows roughly proportionally with interval length -- the
+signal-to-noise argument motivating interval-based filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.tuples import EventKind
+from ..metrics.reports import format_table
+from ..workloads.analysis import interval_statistics
+from ..workloads.benchmarks import benchmark_generator
+from .base import ExperimentReport, ExperimentScale, experiment
+
+#: The paper's three interval lengths, scaled so the longest matches
+#: the experiment scale's long interval.
+def interval_lengths(scale: ExperimentScale) -> List[int]:
+    longest = scale.long_interval_length
+    return [10_000, min(100_000, max(10_000, longest // 10)), longest]
+
+
+@experiment("fig04")
+def run(scale: ExperimentScale = None,
+        kind: EventKind = EventKind.VALUE) -> ExperimentReport:
+    """Measure mean distinct tuples per interval for each length."""
+    scale = scale or ExperimentScale.from_env()
+    lengths = interval_lengths(scale)
+    per_benchmark: Dict[str, Dict[int, float]] = {}
+    for name in scale.benchmarks:
+        row: Dict[int, float] = {}
+        for length in lengths:
+            # Keep total events comparable across lengths.
+            budget = max(2, (scale.long_intervals
+                             * scale.long_interval_length) // length)
+            generator = benchmark_generator(name, kind)
+            statistics = interval_statistics(generator, length,
+                                             min(budget, 60),
+                                             thresholds=())
+            row[length] = statistics.mean_distinct()
+        per_benchmark[name] = row
+
+    headers = ["benchmark"] + [f"{length:,}" for length in lengths]
+    rows = [[name] + [round(per_benchmark[name][length])
+                      for length in lengths]
+            for name in scale.benchmarks]
+    report = ExperimentReport(
+        experiment="fig04",
+        title="distinct tuples per interval (mean, by interval length)",
+        data={"lengths": lengths, "distinct": per_benchmark},
+    )
+    report.add_table("mean distinct tuples per interval",
+                     format_table(headers, rows))
+    return report

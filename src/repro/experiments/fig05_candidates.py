@@ -1,0 +1,58 @@
+"""Figure 5: number of unique candidate tuples per interval.
+
+Per benchmark and interval length, the mean number of tuples crossing
+the candidate threshold (top panel: 1 %, bottom panel: 0.1 %).  The
+paper's observations: candidates are a tiny fraction of the distinct
+tuples of Figure 4, and their count is roughly independent of interval
+length -- so the filtering job gets *harder* with longer intervals
+(more noise, same signal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.tuples import EventKind
+from ..metrics.reports import format_table
+from ..workloads.analysis import interval_statistics
+from ..workloads.benchmarks import benchmark_generator
+from .base import ExperimentReport, ExperimentScale, experiment
+from .fig04_distinct_tuples import interval_lengths
+
+THRESHOLDS = (0.01, 0.001)
+
+
+@experiment("fig05")
+def run(scale: ExperimentScale = None,
+        kind: EventKind = EventKind.VALUE) -> ExperimentReport:
+    """Measure mean candidates per interval at 1 % and 0.1 %."""
+    scale = scale or ExperimentScale.from_env()
+    lengths = interval_lengths(scale)
+    candidates: Dict[float, Dict[str, Dict[int, float]]] = {
+        threshold: {} for threshold in THRESHOLDS}
+    for name in scale.benchmarks:
+        for length in lengths:
+            budget = max(2, (scale.long_intervals
+                             * scale.long_interval_length) // length)
+            generator = benchmark_generator(name, kind)
+            statistics = interval_statistics(generator, length,
+                                             min(budget, 60),
+                                             thresholds=THRESHOLDS)
+            for threshold in THRESHOLDS:
+                candidates[threshold].setdefault(name, {})[length] = \
+                    statistics.mean_candidates(threshold)
+
+    report = ExperimentReport(
+        experiment="fig05",
+        title="unique candidate tuples per interval",
+        data={"lengths": lengths, "candidates": candidates},
+    )
+    headers = ["benchmark"] + [f"{length:,}" for length in lengths]
+    for threshold in THRESHOLDS:
+        rows = [[name] + [round(candidates[threshold][name][length], 1)
+                          for length in lengths]
+                for name in scale.benchmarks]
+        report.add_table(
+            f"mean candidates over {100 * threshold:g}% threshold",
+            format_table(headers, rows))
+    return report

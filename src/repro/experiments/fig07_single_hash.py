@@ -1,0 +1,60 @@
+"""Figure 7: single-hash profiler with retaining/resetting.
+
+For every benchmark, the four single-hash configurations P0/P1 x R0/R1
+(retaining / resetting off and on) are scored with the four-way error
+breakdown, at 10 K @ 1 % (left panel) and the long 0.1 % point (right
+panel).  Expected shape (Section 5.6.2): both optimizations reduce
+total error, P1-R1 is best overall, resetting trades false positives
+for occasional false negatives, and errors are far larger at the long
+operating point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.config import IntervalSpec, ProfilerConfig
+from ..core.tuples import EventKind
+from .base import ExperimentReport, ExperimentScale, experiment
+from .sweeps import breakdown_table, sweep
+
+#: The paper's config order: P0R0, P0R1, P1R0, P1R1.
+MATRIX = ((False, False), (False, True), (True, False), (True, True))
+
+
+def single_hash_configs(spec: IntervalSpec
+                        ) -> List[Tuple[str, ProfilerConfig]]:
+    """The four labelled P x R single-hash configurations."""
+    configs = []
+    for retaining, resetting in MATRIX:
+        label = f"P{int(retaining)}-R{int(resetting)}"
+        configs.append((label, ProfilerConfig(
+            interval=spec, num_tables=1,
+            retaining=retaining, resetting=resetting)))
+    return configs
+
+
+@experiment("fig07")
+def run(scale: ExperimentScale = None,
+        kind: EventKind = EventKind.VALUE) -> ExperimentReport:
+    """Score the P x R matrix at both operating points."""
+    scale = scale or ExperimentScale.from_env()
+    report = ExperimentReport(
+        experiment="fig07",
+        title="single-hash profiler: retaining (P) x resetting (R)",
+        data={},
+    )
+    panels = [
+        ("10K @ 1%", scale.short_spec, scale.short_intervals),
+        (f"{scale.long_interval_length:,} @ 0.1%", scale.long_spec,
+         scale.long_intervals),
+    ]
+    for label, spec, num_intervals in panels:
+        configs = single_hash_configs(spec)
+        results = sweep(scale.benchmarks, configs, num_intervals,
+                        kind=kind)
+        report.data[label] = results
+        report.add_table(f"error breakdown, intervals of {label}",
+                         breakdown_table(results,
+                                         [name for name, _ in configs]))
+    return report

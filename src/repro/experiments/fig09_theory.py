@@ -1,0 +1,49 @@
+"""Figure 9: theoretical false-positive probability of the multi-hash
+profiler.
+
+For a 1 % candidate threshold and a fixed counter budget split evenly
+over ``n`` hash tables, the bound ``p(n) = (100 n / (t Z))^n`` is
+plotted for ``Z`` in {500, 1000, 2000, 4000, 8000} and ``n`` from 1 to
+16.  Expected shape: each curve falls to an optimum and rises again,
+with the optimum moving right as the counter budget grows (1,000
+entries degrade beyond 4 tables, exactly the paper's callout).
+"""
+
+from __future__ import annotations
+
+from ..core.theory import (FIGURE9_ENTRY_CURVES, FIGURE9_TABLE_COUNTS,
+                           figure9_curves, optimal_table_count)
+from ..metrics.reports import format_table
+from .base import ExperimentReport, ExperimentScale, experiment
+
+
+@experiment("fig09")
+def run(scale: ExperimentScale = None,
+        threshold_percent: float = 1.0) -> ExperimentReport:
+    """Tabulate the Figure 9 curves and per-budget optima."""
+    del scale  # closed-form; nothing to scale
+    curves = figure9_curves(threshold_percent)
+    headers = ["tables"] + [f"{entries} entries"
+                            for entries in FIGURE9_ENTRY_CURVES]
+    rows = []
+    for position, tables in enumerate(FIGURE9_TABLE_COUNTS):
+        row: list = [tables]
+        for entries in FIGURE9_ENTRY_CURVES:
+            row.append(round(100.0 * curves[entries][position], 3))
+        rows.append(row)
+    optima = {entries: optimal_table_count(entries, threshold_percent)
+              for entries in FIGURE9_ENTRY_CURVES}
+    report = ExperimentReport(
+        experiment="fig09",
+        title=(f"theoretical false-positive probability, "
+               f"{threshold_percent:g}% threshold"),
+        data={"curves": curves, "optima": optima},
+    )
+    report.add_table("% false-positive probability (upper bound)",
+                     format_table(headers, rows))
+    report.add_table(
+        "bound-minimizing table count per counter budget",
+        format_table(["entries", "optimal tables"],
+                     [[entries, optima[entries]]
+                      for entries in FIGURE9_ENTRY_CURVES]))
+    return report

@@ -1,0 +1,82 @@
+"""Figures 10 and 11: multi-hash design space (C x R x table count).
+
+For gcc and go -- the benchmarks with the most distinct tuples -- the
+multi-hash profiler is swept over 1, 2, 4 and 8 hash tables, each in
+the four combinations of conservative update (C) and immediate reset
+(R), holding total counters at 2 K.  Figure 10 is the 10 K @ 1 % point;
+Figure 11 is the long 0.1 % point (this module's :func:`run` takes the
+panel as a parameter; ``fig11`` is registered as the long variant).
+
+Expected shape: C1-R0 performs best; immediate reset manufactures
+false negatives (worse with more tables); without conservative update
+the long operating point stays at ~100 %+ error for go.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.config import IntervalSpec, ProfilerConfig
+from ..core.tuples import EventKind
+from .base import ExperimentReport, ExperimentScale, experiment
+from .sweeps import breakdown_table, sweep
+
+#: Table counts swept by the paper.
+TABLE_COUNTS = (1, 2, 4, 8)
+
+#: The paper's design-space benchmarks.
+DESIGN_BENCHMARKS = ("gcc", "go")
+
+
+def design_space_configs(spec: IntervalSpec
+                         ) -> List[Tuple[str, ProfilerConfig]]:
+    """All (tables x C x R) configurations, labelled ``nT-Cx-Ry``."""
+    configs = []
+    for tables in TABLE_COUNTS:
+        for conservative in (False, True):
+            for resetting in (False, True):
+                label = (f"{tables}T-C{int(conservative)}"
+                         f"-R{int(resetting)}")
+                configs.append((label, ProfilerConfig(
+                    interval=spec, num_tables=tables,
+                    conservative_update=conservative,
+                    resetting=resetting, retaining=True)))
+    return configs
+
+
+def _run_panel(scale: ExperimentScale, spec: IntervalSpec,
+               num_intervals: int, kind: EventKind,
+               experiment_name: str, panel_label: str) -> ExperimentReport:
+    benchmarks = [name for name in DESIGN_BENCHMARKS
+                  if name in scale.benchmarks] or list(scale.benchmarks)
+    configs = design_space_configs(spec)
+    results = sweep(benchmarks, configs, num_intervals, kind=kind)
+    report = ExperimentReport(
+        experiment=experiment_name,
+        title=(f"multi-hash design space (C x R x tables), intervals "
+               f"of {panel_label}"),
+        data={"results": results},
+    )
+    report.add_table("error breakdown",
+                     breakdown_table(results,
+                                     [label for label, _ in configs]))
+    return report
+
+
+@experiment("fig10")
+def run(scale: ExperimentScale = None,
+        kind: EventKind = EventKind.VALUE) -> ExperimentReport:
+    """The short-interval panel (Figure 10)."""
+    scale = scale or ExperimentScale.from_env()
+    return _run_panel(scale, scale.short_spec, scale.short_intervals,
+                      kind, "fig10", "10K @ 1%")
+
+
+@experiment("fig11")
+def run_long(scale: ExperimentScale = None,
+             kind: EventKind = EventKind.VALUE) -> ExperimentReport:
+    """The long-interval panel (Figure 11)."""
+    scale = scale or ExperimentScale.from_env()
+    return _run_panel(scale, scale.long_spec, scale.long_intervals,
+                      kind, "fig11",
+                      f"{scale.long_interval_length:,} @ 0.1%")

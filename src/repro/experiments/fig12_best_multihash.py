@@ -1,0 +1,69 @@
+"""Figure 12: the best multi-hash configuration for value profiling.
+
+Every benchmark is scored under the best single hash (BSH = P1-R1) and
+the best multi-hash family (C1-R0 with retaining) at 1, 2, 4, 8 and 16
+hash tables, for both operating points.  Expected shape: 4 tables
+consistently at or near the minimum, beating BSH (the paper's gcc
+improves from 10 % to 5 %, go from 20 % to 1.5 % at the long point);
+error rises again toward 16 tables; and the multi-hash average stays
+under ~1 % at 10 K @ 1 %.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.config import IntervalSpec, ProfilerConfig, best_single_hash
+from ..metrics.charts import bar_chart
+from ..core.tuples import EventKind
+from .base import ExperimentReport, ExperimentScale, experiment
+from .sweeps import average_error, sweep, totals_table
+
+#: Multi-hash table counts swept (Figure 12 adds 16 to Figure 10's set).
+TABLE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def best_family_configs(spec: IntervalSpec,
+                        table_counts: Tuple[int, ...] = TABLE_COUNTS
+                        ) -> List[Tuple[str, ProfilerConfig]]:
+    """BSH plus the C1-R0 multi-hash family."""
+    configs: List[Tuple[str, ProfilerConfig]] = [
+        ("BSH", best_single_hash(spec))]
+    for tables in table_counts:
+        configs.append((f"MH{tables}", ProfilerConfig(
+            interval=spec, num_tables=tables, conservative_update=True,
+            resetting=False, retaining=True)))
+    return configs
+
+
+@experiment("fig12")
+def run(scale: ExperimentScale = None,
+        kind: EventKind = EventKind.VALUE,
+        table_counts: Tuple[int, ...] = TABLE_COUNTS) -> ExperimentReport:
+    """Score BSH vs the multi-hash family at both operating points."""
+    scale = scale or ExperimentScale.from_env()
+    report = ExperimentReport(
+        experiment="fig12",
+        title="best multi-hash (C1-R0) vs best single hash",
+        data={},
+    )
+    panels = [
+        ("10K @ 1%", scale.short_spec, scale.short_intervals),
+        (f"{scale.long_interval_length:,} @ 0.1%", scale.long_spec,
+         scale.long_intervals),
+    ]
+    for label, spec, num_intervals in panels:
+        configs = best_family_configs(spec, table_counts)
+        labels = [name for name, _ in configs]
+        results = sweep(scale.benchmarks, configs, num_intervals,
+                        kind=kind)
+        report.data[label] = results
+        report.data[f"{label}/averages"] = {
+            name: average_error(results, name) for name in labels}
+        report.add_table(f"total error %, intervals of {label}",
+                         totals_table(results, labels))
+        report.add_table(
+            f"average error by configuration, intervals of {label}",
+            bar_chart({name: average_error(results, name)
+                       for name in labels}))
+    return report

@@ -1,0 +1,74 @@
+"""Figure 13: per-interval error across profile cycles.
+
+The error of every individual interval (the paper's "profile cycle")
+at the long operating point, for the best single hash with resetting
+(left panel) versus the best multi-hash (4 tables, conservative
+update, no resetting; right panel).  Expected shape: the multi-hash
+series removes most of the single-hash spikes (especially for gcc and
+go), at the cost of occasional conservative-update piggyback spikes
+(the paper's burg callout).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.config import best_multi_hash, best_single_hash
+from ..core.tuples import EventKind
+from ..metrics.charts import series_chart
+from ..metrics.reports import format_table, series_table
+from ..profiling.session import ProfilingSession
+from ..workloads.benchmarks import benchmark_generator
+from .base import ExperimentReport, ExperimentScale, experiment
+
+
+@experiment("fig13")
+def run(scale: ExperimentScale = None,
+        kind: EventKind = EventKind.VALUE,
+        num_intervals: int = None) -> ExperimentReport:
+    """Collect per-interval error series for BSH vs MH4."""
+    scale = scale or ExperimentScale.from_env()
+    spec = scale.long_spec
+    cycles = num_intervals or max(scale.long_intervals, 12)
+    series: Dict[str, Dict[str, List[float]]] = {"BSH": {}, "MH4": {}}
+    for name in scale.benchmarks:
+        session = ProfilingSession([
+            best_single_hash(spec),
+            best_multi_hash(spec, num_tables=4),
+        ])
+        outcome = session.run(benchmark_generator(name, kind),
+                              max_intervals=cycles)
+        results = list(outcome.results.values())
+        series["BSH"][name] = results[0].summary.series()
+        series["MH4"][name] = results[1].summary.series()
+
+    report = ExperimentReport(
+        experiment="fig13",
+        title=(f"per-interval error, intervals of "
+               f"{spec.length:,} @ 0.1%"),
+        data={"series": series},
+    )
+    for label in ("BSH", "MH4"):
+        report.add_table(f"{label}: % error per profile cycle",
+                         series_table(series[label]))
+    stressed = max(scale.benchmarks,
+                   key=lambda name: sum(series["BSH"][name]))
+    for label in ("BSH", "MH4"):
+        report.add_table(
+            f"{label} per-cycle error on {stressed} (the most stressed "
+            f"benchmark)",
+            series_chart([100.0 * v for v in series[label][stressed]]))
+    spikes = [[name,
+               _spike_count(series["BSH"][name]),
+               _spike_count(series["MH4"][name])]
+              for name in scale.benchmarks]
+    report.data["spikes"] = {row[0]: (row[1], row[2]) for row in spikes}
+    report.add_table(
+        "profile cycles with error over 10%",
+        format_table(["benchmark", "BSH spikes", "MH4 spikes"], spikes))
+    return report
+
+
+def _spike_count(series: List[float], threshold: float = 0.10) -> int:
+    """Cycles whose error exceeds *threshold* (a Figure 13 'spike')."""
+    return sum(1 for value in series if value > threshold)

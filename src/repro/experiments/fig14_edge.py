@@ -1,0 +1,32 @@
+"""Figure 14: the best multi-hash profiler for edge profiling.
+
+The Figure 12 sweep repeated with edge-profiling tuples
+``<branch PC, target PC>`` and table counts 1, 2, 4, 8.  The edge
+streams have far fewer distinct tuples (branch edges are a static
+population), and the paper's conclusion carries over: the 4-table
+multi-hash significantly outperforms the other configurations
+including the best single hash.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.tuples import EventKind
+from .base import ExperimentReport, ExperimentScale, experiment
+from .fig12_best_multihash import run as run_fig12
+
+#: The paper sweeps only up to 8 tables for edge profiling.
+TABLE_COUNTS = (1, 2, 4, 8)
+
+
+@experiment("fig14")
+def run(scale: ExperimentScale = None,
+        table_counts: Tuple[int, ...] = TABLE_COUNTS) -> ExperimentReport:
+    """Figure 12's sweep over edge-profile streams."""
+    scale = scale or ExperimentScale.from_env()
+    report = run_fig12(scale, kind=EventKind.EDGE,
+                       table_counts=table_counts)
+    report.experiment = "fig14"
+    report.title = "best multi-hash for edge profiling"
+    return report

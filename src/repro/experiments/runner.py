@@ -1,0 +1,94 @@
+"""Command-line entry point: regenerate any figure's rows.
+
+Usage::
+
+    repro-experiments fig12                 # one experiment
+    repro-experiments all                   # everything
+    repro-experiments fig11 --full          # paper-scale operating point
+    repro-experiments fig07 --benchmarks gcc,go --long-intervals 4
+
+Scaling flags override the ``REPRO_*`` environment variables documented
+in :mod:`repro.experiments.base`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import List, Optional
+
+from ..core.config import LONG_INTERVAL
+from .base import EXPERIMENTS, ExperimentScale
+
+# Importing the experiment modules populates the registry.
+from . import (ablations, adaptive_interval, area_budget, baselines,  # noqa: F401
+               fig04_distinct_tuples, fig05_candidates, fig06_variation, fig07_single_hash,
+               fig09_theory, fig10_multihash_design, fig12_best_multihash,
+               fig13_per_interval, fig14_edge, stratified_baseline,
+               table_size_ablation)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=("Regenerate the evaluation figures of 'Catching "
+                     "Accurate Profiles in Hardware' (HPCA 2003)"))
+    parser.add_argument("experiments", nargs="+",
+                        help=f"experiment names or 'all'; known: "
+                             f"{', '.join(sorted(EXPERIMENTS))}")
+    parser.add_argument("--full", action="store_true",
+                        help="run the paper's full operating points "
+                             "(1M-event long intervals)")
+    parser.add_argument("--long-length", type=int, default=None,
+                        help="long interval length in events")
+    parser.add_argument("--long-intervals", type=int, default=None,
+                        help="number of long intervals per benchmark")
+    parser.add_argument("--short-intervals", type=int, default=None,
+                        help="number of 10K intervals per benchmark")
+    parser.add_argument("--benchmarks", type=str, default=None,
+                        help="comma-separated benchmark subset")
+    return parser
+
+
+def scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    scale = ExperimentScale.from_env()
+    if args.full:
+        scale = replace(scale,
+                        long_interval_length=LONG_INTERVAL.length,
+                        long_intervals=10, short_intervals=60)
+    if args.long_length is not None:
+        scale = replace(scale, long_interval_length=args.long_length)
+    if args.long_intervals is not None:
+        scale = replace(scale, long_intervals=args.long_intervals)
+    if args.short_intervals is not None:
+        scale = replace(scale, short_intervals=args.short_intervals)
+    if args.benchmarks is not None:
+        scale = replace(scale, benchmarks=tuple(
+            name.strip() for name in args.benchmarks.split(",")
+            if name.strip()))
+    return scale
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = scale_from_args(args)
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; known: "
+              f"{', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.time()
+        report = EXPERIMENTS[name](scale)
+        print(report.render())
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

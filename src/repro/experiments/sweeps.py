@@ -1,0 +1,80 @@
+"""Shared config-sweep machinery for the error-rate figures.
+
+Figures 7 and 10-14 all have the same skeleton: for each benchmark,
+feed one stream through a set of profiler configurations and tabulate
+each configuration's error breakdown.  :func:`sweep` runs that skeleton
+(one stream pass per benchmark, all configurations in lockstep) and
+returns the summaries for the figure modules to format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.config import ProfilerConfig
+from ..core.tuples import EventKind
+from ..metrics.error import ErrorSummary
+from ..metrics.reports import breakdown_headers, breakdown_row, format_table
+from ..profiling.session import ProfilingSession
+from ..workloads.benchmarks import benchmark_generator
+
+#: ``{benchmark: {config label: summary}}``
+SweepResult = Dict[str, Dict[str, ErrorSummary]]
+
+
+def sweep(benchmarks: Sequence[str],
+          configs: Sequence[Tuple[str, ProfilerConfig]],
+          num_intervals: int,
+          kind: EventKind = EventKind.VALUE,
+          keep_profiles: bool = False) -> SweepResult:
+    """Run every benchmark through every configuration.
+
+    *configs* pairs a display label with a configuration; labels must
+    be unique.  Returns per-benchmark, per-label error summaries.
+    """
+    labels = [label for label, _ in configs]
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"duplicate config labels in {labels}")
+    results: SweepResult = {}
+    for benchmark in benchmarks:
+        session = ProfilingSession([config for _, config in configs],
+                                   keep_profiles=keep_profiles)
+        outcome = session.run(benchmark_generator(benchmark, kind),
+                              max_intervals=num_intervals)
+        by_label: Dict[str, ErrorSummary] = {}
+        for label, result in zip(labels, outcome.results.values()):
+            by_label[label] = result.summary
+        results[benchmark] = by_label
+    return results
+
+
+def breakdown_table(results: SweepResult,
+                    labels: Sequence[str]) -> str:
+    """One row per (benchmark, config) with the four-way error split."""
+    rows: List[List[object]] = []
+    for benchmark, by_label in results.items():
+        for label in labels:
+            rows.append([benchmark, label,
+                         *breakdown_row(by_label[label])])
+    return format_table(breakdown_headers("benchmark", "config"), rows)
+
+
+def totals_table(results: SweepResult, labels: Sequence[str]) -> str:
+    """Benchmarks as rows, configs as columns, total error % in cells."""
+    headers = ["benchmark", *labels]
+    rows = [[benchmark] + [by_label[label].percent() for label in labels]
+            for benchmark, by_label in results.items()]
+    averages: List[object] = ["AVERAGE"]
+    for label in labels:
+        values = [by_label[label].percent()
+                  for by_label in results.values()]
+        averages.append(sum(values) / len(values) if values else 0.0)
+    rows.append(averages)
+    return format_table(headers, rows)
+
+
+def average_error(results: SweepResult, label: str) -> float:
+    """Mean total error (percent) of one configuration across
+    benchmarks."""
+    values = [by_label[label].percent() for by_label in results.values()]
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,48 @@
+"""Extension: hash-table size ablation (Section 6.3's unshown study).
+
+The paper states it "performed error rate analysis for other hash-table
+sizes and found that a hash-table of size 2K performs almost as well as
+larger hash-tables, while still outperforming hash-tables of size 1K or
+smaller", without showing the data.  This experiment regenerates that
+study: the best multi-hash configuration (4 tables, C1-R0) swept over
+total counter budgets of 512 to 8192 entries at the long operating
+point, where table pressure matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+from ..core.config import ProfilerConfig, best_multi_hash
+from ..core.tuples import EventKind
+from .base import ExperimentReport, ExperimentScale, experiment
+from .sweeps import sweep, totals_table
+
+#: Total counter budgets swept.
+ENTRY_BUDGETS = (512, 1024, 2048, 4096, 8192)
+
+
+@experiment("tablesize")
+def run(scale: ExperimentScale = None,
+        kind: EventKind = EventKind.VALUE) -> ExperimentReport:
+    """Sweep the total counter budget for the best multi-hash."""
+    scale = scale or ExperimentScale.from_env()
+    spec = scale.long_spec
+    configs: List[Tuple[str, ProfilerConfig]] = []
+    for entries in ENTRY_BUDGETS:
+        base = best_multi_hash(spec, num_tables=4)
+        configs.append((f"{entries}e",
+                        replace(base, total_entries=entries)))
+    labels = [label for label, _ in configs]
+    results = sweep(scale.benchmarks, configs, scale.long_intervals,
+                    kind=kind)
+    report = ExperimentReport(
+        experiment="tablesize",
+        title=("hash-table size ablation, MH4 C1-R0, intervals of "
+               f"{spec.length:,} @ 0.1%"),
+        data={"results": results, "budgets": ENTRY_BUDGETS},
+    )
+    report.add_table("total error % by counter budget",
+                     totals_table(results, labels))
+    return report

@@ -1,0 +1,38 @@
+"""Error metrics: Figure 3 classification and formula (1) error rates."""
+
+from .aggregate import (StabilityReport, merge_profiles, stability,
+                        top_tuples)
+from .charts import bar_chart, grouped_bar_chart, series_chart
+from .classification import (Category, ClassifiedCandidate, by_category,
+                             classify_candidate, classify_interval,
+                             classify_interval_with_truth)
+from .error import (ErrorSummary, IntervalError, error_from_classified,
+                    interval_error, summarize)
+from .reports import (breakdown_headers, breakdown_row,
+                      error_breakdown_table, format_table, series_table)
+
+__all__ = [
+    "StabilityReport",
+    "merge_profiles",
+    "stability",
+    "top_tuples",
+    "bar_chart",
+    "grouped_bar_chart",
+    "series_chart",
+    "Category",
+    "ClassifiedCandidate",
+    "ErrorSummary",
+    "IntervalError",
+    "breakdown_headers",
+    "breakdown_row",
+    "by_category",
+    "classify_candidate",
+    "classify_interval",
+    "classify_interval_with_truth",
+    "error_breakdown_table",
+    "error_from_classified",
+    "format_table",
+    "interval_error",
+    "series_table",
+    "summarize",
+]

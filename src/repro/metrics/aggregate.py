@@ -1,0 +1,93 @@
+"""Aggregating interval profiles over longer horizons.
+
+The profiler reports per-interval candidates; consumers often want a
+longer view — "the hot tuples of the last N intervals" for a stable
+optimization plan, or a whole-run profile comparable to what ATOM
+produces offline.  These helpers merge interval profiles with optional
+recency weighting and support the stability analysis the clients use
+to decide when a plan is worth (re)applying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..core.base import IntervalProfile
+from ..core.tuples import ProfileTuple
+
+
+def merge_profiles(profiles: Iterable[IntervalProfile],
+                   decay: float = 1.0) -> Dict[ProfileTuple, float]:
+    """Merge per-interval candidate counts into one weighted profile.
+
+    With ``decay == 1`` this is a plain sum (the whole-run profile).
+    With ``decay < 1`` earlier intervals are geometrically discounted
+    (weight ``decay**age``), giving the recency-biased view an online
+    optimizer wants: a tuple hot long ago but cold now fades out.
+    """
+    if not 0.0 < decay <= 1.0:
+        raise ValueError(f"decay must be in (0, 1], got {decay}")
+    ordered = sorted(profiles, key=lambda profile: profile.index)
+    merged: Dict[ProfileTuple, float] = {}
+    if not ordered:
+        return merged
+    newest = ordered[-1].index
+    for profile in ordered:
+        weight = decay ** (newest - profile.index)
+        for event, count in profile.candidates.items():
+            merged[event] = merged.get(event, 0.0) + weight * count
+    return merged
+
+
+def top_tuples(merged: Mapping[ProfileTuple, float],
+               count: int = 10) -> List[Tuple[ProfileTuple, float]]:
+    """The *count* heaviest tuples of a merged profile, descending."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return sorted(merged.items(), key=lambda item: -item[1])[:count]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """How persistent candidates are across a profile window.
+
+    ``persistence`` maps each tuple to the fraction of intervals in
+    which it was a candidate; ``stable`` lists the tuples at or above
+    the requested persistence (the safe optimization targets).
+    """
+
+    intervals: int
+    persistence: Mapping[ProfileTuple, float]
+    stable: Tuple[ProfileTuple, ...]
+
+    def persistence_of(self, event: ProfileTuple) -> float:
+        return self.persistence.get(event, 0.0)
+
+
+def stability(profiles: Sequence[IntervalProfile],
+              min_persistence: float = 0.75) -> StabilityReport:
+    """Measure candidate persistence over a profile window.
+
+    The paper's interval-to-interval variation (Figure 6) is the flip
+    side of this: an optimizer acting on interval ``i``'s candidates
+    during interval ``i+1`` only profits from tuples that persist.
+    """
+    if not 0.0 < min_persistence <= 1.0:
+        raise ValueError(f"min_persistence must be in (0, 1], got "
+                         f"{min_persistence}")
+    if not profiles:
+        return StabilityReport(intervals=0, persistence={}, stable=())
+    appearances: Dict[ProfileTuple, int] = {}
+    for profile in profiles:
+        for event in profile.candidates:
+            appearances[event] = appearances.get(event, 0) + 1
+    total = len(profiles)
+    persistence = {event: count / total
+                   for event, count in appearances.items()}
+    stable = tuple(sorted(
+        (event for event, share in persistence.items()
+         if share >= min_persistence),
+        key=lambda event: -persistence[event]))
+    return StabilityReport(intervals=total, persistence=persistence,
+                           stable=stable)

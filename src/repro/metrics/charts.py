@@ -1,0 +1,105 @@
+"""ASCII charts for experiment reports.
+
+The paper's results are bar charts and per-cycle line plots; these
+helpers render terminal approximations of both so ``repro-experiments``
+output can be *read* like the figures, not just diffed.  Pure text, no
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+#: Default plot width in characters.
+DEFAULT_WIDTH = 50
+
+
+def bar_chart(values: Mapping[str, float], width: int = DEFAULT_WIDTH,
+              unit: str = "%") -> str:
+    """Horizontal bar chart, one row per labelled value.
+
+    Bars scale to the maximum value; zero and near-zero values render
+    an explicit dot so "no error" is visible rather than blank.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if not values:
+        return "(no data)"
+    label_width = max(len(label) for label in values)
+    peak = max(values.values())
+    lines = []
+    for label, value in values.items():
+        if peak <= 0:
+            filled = 0
+        else:
+            filled = round(width * value / peak)
+        bar = "#" * filled if filled else "."
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+                     f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Mapping[str, Mapping[str, float]],
+                      width: int = DEFAULT_WIDTH,
+                      unit: str = "%") -> str:
+    """Bar chart with one section per group (e.g. per benchmark).
+
+    All sections share one scale so bars are comparable across groups,
+    like the shared y-axis of the paper's figures.
+    """
+    if not groups:
+        return "(no data)"
+    peak = max((value for section in groups.values()
+                for value in section.values()), default=0.0)
+    label_width = max((len(label) for section in groups.values()
+                       for label in section), default=1)
+    lines: List[str] = []
+    for group, section in groups.items():
+        lines.append(f"{group}:")
+        for label, value in section.items():
+            filled = round(width * value / peak) if peak > 0 else 0
+            bar = "#" * filled if filled else "."
+            lines.append(f"  {label.ljust(label_width)} "
+                         f"|{bar.ljust(width)}| {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(series: Sequence[float], height: int = 8,
+                 width: int = DEFAULT_WIDTH,
+                 unit: str = "%") -> str:
+    """A column chart of a per-interval series (Figure 13 style).
+
+    Values are bucketed onto *width* columns (max-pooled when the
+    series is longer than the width) and drawn as vertical bars over
+    *height* text rows, with the peak value annotated.
+    """
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+    if not series:
+        return "(no data)"
+    columns = _pool(series, width)
+    peak = max(columns)
+    if peak < 0.005:
+        return f"~0{unit} flat over {len(series)} intervals"
+    levels = [round(height * value / peak) for value in columns]
+    rows = []
+    for row in range(height, 0, -1):
+        cells = "".join("#" if level >= row else " "
+                        for level in levels)
+        prefix = f"{peak:7.2f}{unit} ^" if row == height else " " * 9 + "|"
+        rows.append(prefix + cells)
+    rows.append(" " * 9 + "+" + "-" * len(levels)
+                + f"> {len(series)} intervals")
+    return "\n".join(rows)
+
+
+def _pool(series: Sequence[float], width: int) -> List[float]:
+    """Max-pool *series* down to at most *width* columns."""
+    if len(series) <= width:
+        return list(series)
+    pooled: List[float] = []
+    for column in range(width):
+        start = column * len(series) // width
+        stop = max(start + 1, (column + 1) * len(series) // width)
+        pooled.append(max(series[start:stop]))
+    return pooled

@@ -1,0 +1,146 @@
+"""Four-way candidate classification (Section 5.5.1, Figure 3).
+
+Comparing a hardware profile against the perfect profile for the same
+interval puts every tuple that either profiler reported into one of
+four categories (tuples below threshold in both are "don't care"):
+
+=================  =======================  ==========================
+Category           Perfect profiler         Hardware profiler
+=================  =======================  ==========================
+False Positive     out  (``f_p < T``)       in  (``f_h >= T``)
+False Negative     in   (``f_p >= T``)      out (``f_h < T``)
+Neutral Positive   in, ``f_h > f_p``        in
+Neutral Negative   in, ``f_h < f_p``        in
+Exact              in, ``f_h == f_p``       in  (contributes no error)
+=================  =======================  ==========================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.base import IntervalProfile
+from ..core.tuples import ProfileTuple
+
+
+class Category(enum.Enum):
+    """Where a candidate tuple falls in Figure 3's grid."""
+
+    FALSE_POSITIVE = "false_positive"
+    FALSE_NEGATIVE = "false_negative"
+    NEUTRAL_POSITIVE = "neutral_positive"
+    NEUTRAL_NEGATIVE = "neutral_negative"
+    #: Both profilers agree exactly; zero error contribution.
+    EXACT = "exact"
+
+
+#: The categories that carry error, in the paper's stacking order.
+ERROR_CATEGORIES = (Category.FALSE_POSITIVE, Category.FALSE_NEGATIVE,
+                    Category.NEUTRAL_POSITIVE, Category.NEUTRAL_NEGATIVE)
+
+
+@dataclass(frozen=True)
+class ClassifiedCandidate:
+    """One tuple's comparison outcome for one interval.
+
+    ``perfect_frequency`` is ``f_p``; ``hardware_frequency`` is ``f_h``
+    (0 when the hardware profiler did not report the tuple).
+    """
+
+    event: ProfileTuple
+    perfect_frequency: int
+    hardware_frequency: int
+    category: Category
+
+    @property
+    def absolute_error(self) -> int:
+        """``|f_p - f_h|``, the numerator of the paper's error weight."""
+        return abs(self.perfect_frequency - self.hardware_frequency)
+
+
+def classify_candidate(perfect_frequency: int, hardware_frequency: int,
+                       threshold_count: int) -> Category:
+    """Classify one tuple given both frequencies and the threshold."""
+    perfect_in = perfect_frequency >= threshold_count
+    hardware_in = hardware_frequency >= threshold_count
+    if perfect_in and not hardware_in:
+        return Category.FALSE_NEGATIVE
+    if hardware_in and not perfect_in:
+        return Category.FALSE_POSITIVE
+    if not perfect_in and not hardware_in:
+        raise ValueError(
+            f"tuple below threshold in both profiles (f_p="
+            f"{perfect_frequency}, f_h={hardware_frequency}, T="
+            f"{threshold_count}) is a don't-care, not a candidate")
+    if hardware_frequency > perfect_frequency:
+        return Category.NEUTRAL_POSITIVE
+    if hardware_frequency < perfect_frequency:
+        return Category.NEUTRAL_NEGATIVE
+    return Category.EXACT
+
+
+def classify_interval(perfect: IntervalProfile,
+                      hardware: IntervalProfile,
+                      threshold_count: int) -> List[ClassifiedCandidate]:
+    """Classify every candidate of one interval.
+
+    The candidate universe is the union of tuples reported by either
+    profiler ("all candidate tuples seen either in perfect or hardware
+    profiler", Section 5.5.2).  For tuples only the hardware reported,
+    the perfect profile still knows the true frequency is below the
+    threshold; since :class:`~repro.core.perfect.PerfectProfiler` only
+    reports above-threshold tuples, ``f_p`` for false positives is not
+    recoverable from the report alone and callers that need it should
+    use :func:`classify_interval_with_truth`.  Here ``f_p`` of an
+    unreported tuple is treated as 0 (the most pessimistic value).
+    """
+    truth = {event: 0 for event in hardware.candidates
+             if event not in perfect.candidates}
+    truth.update(perfect.candidates)
+    return _classify(truth, hardware, threshold_count)
+
+
+def classify_interval_with_truth(true_counts: Dict[ProfileTuple, int],
+                                 hardware: IntervalProfile,
+                                 threshold_count: int
+                                 ) -> List[ClassifiedCandidate]:
+    """Classify with full ground-truth counts for the interval.
+
+    *true_counts* maps every tuple seen in the interval to its exact
+    frequency, so false positives get their real (sub-threshold)
+    ``f_p`` instead of 0, exactly as the paper's ATOM-based perfect
+    profiler provides.
+    """
+    universe = {event: count for event, count in true_counts.items()
+                if count >= threshold_count}
+    for event in hardware.candidates:
+        if event not in universe:
+            universe[event] = true_counts.get(event, 0)
+    return _classify(universe, hardware, threshold_count)
+
+
+def _classify(truth: Dict[ProfileTuple, int], hardware: IntervalProfile,
+              threshold_count: int) -> List[ClassifiedCandidate]:
+    classified: List[ClassifiedCandidate] = []
+    for event, perfect_frequency in truth.items():
+        hardware_frequency = hardware.frequency(event)
+        category = classify_candidate(perfect_frequency,
+                                      hardware_frequency, threshold_count)
+        classified.append(ClassifiedCandidate(
+            event=event,
+            perfect_frequency=perfect_frequency,
+            hardware_frequency=hardware_frequency,
+            category=category))
+    return classified
+
+
+def by_category(classified: List[ClassifiedCandidate]
+                ) -> Dict[Category, List[ClassifiedCandidate]]:
+    """Group classified candidates for per-category reporting."""
+    groups: Dict[Category, List[ClassifiedCandidate]] = {
+        category: [] for category in Category}
+    for candidate in classified:
+        groups[candidate.category].append(candidate)
+    return groups

@@ -1,0 +1,147 @@
+"""The paper's weighted error metric (Section 5.5.2, formula 1).
+
+For one interval, with candidate universe ``i = 1..n`` (tuples above
+threshold in either profile), the error is the frequency-weighted
+average of per-candidate relative errors::
+
+    E = sum_i |f_p_i - f_h_i| / sum_i f_p_i
+
+False positives contribute ``|f_p - f_h| >= T`` to the numerator while
+adding little (their small true ``f_p``) to the denominator, which is
+why heavily-aliased configurations exceed 100 % error in Figures 7 and
+11.  The net error of a run is the simple average over its intervals,
+and each interval's error splits additively into the four Figure 3
+categories -- exactly the stacked bars of Figures 7-14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..core.base import IntervalProfile
+from ..core.tuples import ProfileTuple
+from .classification import (Category, ClassifiedCandidate,
+                             classify_interval_with_truth)
+
+
+@dataclass(frozen=True)
+class IntervalError:
+    """Error of one hardware profile interval against ground truth.
+
+    ``category_error`` maps each error-carrying category to its share;
+    the shares sum to :attr:`total`.  ``category_count`` counts
+    candidates per category (including exact matches).
+    """
+
+    index: int
+    total: float
+    category_error: Mapping[Category, float]
+    category_count: Mapping[Category, int]
+    perfect_mass: int
+
+    def error_of(self, category: Category) -> float:
+        return self.category_error.get(category, 0.0)
+
+
+def interval_error(true_counts: Dict[ProfileTuple, int],
+                   hardware: IntervalProfile,
+                   threshold_count: int) -> IntervalError:
+    """Score one interval: formula (1) with the four-way breakdown."""
+    classified = classify_interval_with_truth(true_counts, hardware,
+                                              threshold_count)
+    return error_from_classified(classified, hardware.index)
+
+
+def error_from_classified(classified: Sequence[ClassifiedCandidate],
+                          index: int = 0) -> IntervalError:
+    """Compute the weighted error from already-classified candidates."""
+    perfect_mass = sum(c.perfect_frequency for c in classified)
+    # An interval with no candidate mass carries no weighting basis; a
+    # denominator of one event keeps false-positive-only intervals
+    # finite while preserving "no candidates anywhere -> zero error".
+    denominator = max(1, perfect_mass)
+    category_error: Dict[Category, float] = {}
+    category_count: Dict[Category, int] = {}
+    total = 0.0
+    for candidate in classified:
+        category_count[candidate.category] = (
+            category_count.get(candidate.category, 0) + 1)
+        if candidate.category is Category.EXACT:
+            continue
+        share = candidate.absolute_error / denominator
+        category_error[candidate.category] = (
+            category_error.get(candidate.category, 0.0) + share)
+        total += share
+    return IntervalError(index=index, total=total,
+                         category_error=category_error,
+                         category_count=category_count,
+                         perfect_mass=perfect_mass)
+
+
+@dataclass
+class ErrorSummary:
+    """Run-level error: the simple average over interval errors.
+
+    Mirrors the paper's "final net error rate ... calculated as a simple
+    average over the error rates seen by all intervals", and keeps the
+    per-interval series for Figure 13-style plots.
+    """
+
+    intervals: List[IntervalError] = field(default_factory=list)
+
+    def add(self, interval: IntervalError) -> None:
+        self.intervals.append(interval)
+
+    @property
+    def num_intervals(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def total_error(self) -> float:
+        """Net error averaged over intervals (fraction, not percent)."""
+        if not self.intervals:
+            return 0.0
+        return sum(i.total for i in self.intervals) / len(self.intervals)
+
+    def category_error(self, category: Category) -> float:
+        """Average error share of one category over all intervals."""
+        if not self.intervals:
+            return 0.0
+        return (sum(i.error_of(category) for i in self.intervals)
+                / len(self.intervals))
+
+    def breakdown(self) -> Dict[Category, float]:
+        """Average error share of every error-carrying category."""
+        return {category: self.category_error(category)
+                for category in (Category.FALSE_POSITIVE,
+                                 Category.FALSE_NEGATIVE,
+                                 Category.NEUTRAL_POSITIVE,
+                                 Category.NEUTRAL_NEGATIVE)}
+
+    def category_candidates(self, category: Category) -> int:
+        """Total candidates classified into *category* across the run."""
+        return sum(i.category_count.get(category, 0)
+                   for i in self.intervals)
+
+    def series(self) -> List[float]:
+        """Per-interval total error, in interval order (Figure 13)."""
+        return [i.total for i in sorted(self.intervals,
+                                        key=lambda e: e.index)]
+
+    def percent(self) -> float:
+        """Net error in percent, as the paper's figures report it."""
+        return 100.0 * self.total_error
+
+    def breakdown_percent(self) -> Dict[str, float]:
+        """Category breakdown in percent, keyed by category value."""
+        return {category.value: 100.0 * share
+                for category, share in self.breakdown().items()}
+
+
+def summarize(errors: Iterable[IntervalError]) -> ErrorSummary:
+    """Collect interval errors into a summary."""
+    summary = ErrorSummary()
+    for error in errors:
+        summary.add(error)
+    return summary

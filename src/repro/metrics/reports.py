@@ -1,0 +1,111 @@
+"""Plain-text report tables for experiment output.
+
+The experiment harness prints the same rows/series the paper's figures
+plot; these helpers format them consistently (fixed-width columns,
+percent values to two decimals) so bench output is directly readable
+and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+from .classification import Category
+from .error import ErrorSummary
+
+#: Column order for stacked error-breakdown tables, matching the
+#: paper's legend order.
+BREAKDOWN_COLUMNS = (
+    ("FP%", Category.FALSE_POSITIVE),
+    ("FN%", Category.FALSE_NEGATIVE),
+    ("NP%", Category.NEUTRAL_POSITIVE),
+    ("NN%", Category.NEUTRAL_NEGATIVE),
+)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 min_width: int = 6) -> str:
+    """Render a fixed-width text table.
+
+    Numbers are right-aligned, strings left-aligned; floats print with
+    two decimals.  Returns the table as one string (no trailing
+    newline).
+    """
+    rendered_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [max(min_width, len(header)) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are "
+                f"{len(headers)} headers: {row!r}")
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    lines = [_render_line(headers, widths),
+             "  ".join("-" * width for width in widths)]
+    lines.extend(_render_line(row, widths) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _render_line(cells: Sequence[object], widths: Sequence[int]) -> str:
+    parts = []
+    for cell, width in zip(cells, widths):
+        rendered = _render_cell(cell)
+        if isinstance(cell, str):
+            parts.append(rendered.ljust(width))
+        else:
+            parts.append(rendered.rjust(width))
+    return "  ".join(parts).rstrip()
+
+
+def breakdown_row(summary: ErrorSummary) -> List[float]:
+    """The four stacked-category percentages plus the total, in the
+    column order of :data:`BREAKDOWN_COLUMNS` followed by ``Total%``."""
+    breakdown = summary.breakdown()
+    row = [100.0 * breakdown[category] for _, category in BREAKDOWN_COLUMNS]
+    row.append(summary.percent())
+    return row
+
+
+def breakdown_headers(*prefix: str) -> List[str]:
+    """Headers for a breakdown table, optionally prefixed by id columns."""
+    return [*prefix, *(name for name, _ in BREAKDOWN_COLUMNS), "Total%"]
+
+
+def error_breakdown_table(rows: Mapping[str, ErrorSummary],
+                          key_header: str = "config") -> str:
+    """One breakdown row per labelled summary (Figures 7, 10-12, 14)."""
+    table_rows = [[label, *breakdown_row(summary)]
+                  for label, summary in rows.items()]
+    return format_table(breakdown_headers(key_header), table_rows)
+
+
+def series_table(series: Mapping[str, Sequence[float]],
+                 index_header: str = "interval") -> str:
+    """Per-interval series side by side (Figure 13).
+
+    Shorter series are padded with blanks so benchmarks with different
+    interval counts can share one table.
+    """
+    labels = list(series)
+    length = max((len(values) for values in series.values()), default=0)
+    rows = []
+    for position in range(length):
+        row: List[object] = [position]
+        for label in labels:
+            values = series[label]
+            row.append(100.0 * values[position]
+                       if position < len(values) else "")
+        rows.append(row)
+    return format_table([index_header, *labels], rows)
+
+
+def percent(fraction: float) -> float:
+    """Convert a fraction to percent (kept explicit for readability)."""
+    return 100.0 * fraction

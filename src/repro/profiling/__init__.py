@@ -1,0 +1,20 @@
+"""Instrumentation and session driving."""
+
+from .atom import EventLog, Instrumenter, trace_events
+from .events import BranchEvent, LoadEvent, StoreEvent, tuple_for
+from .session import (ProfilerResult, ProfilingSession, SessionResult,
+                      profile_stream)
+
+__all__ = [
+    "BranchEvent",
+    "EventLog",
+    "Instrumenter",
+    "LoadEvent",
+    "ProfilerResult",
+    "ProfilingSession",
+    "SessionResult",
+    "StoreEvent",
+    "profile_stream",
+    "trace_events",
+    "tuple_for",
+]

@@ -1,0 +1,80 @@
+"""Adaptive profile-interval selection (Section 5.6.1's proposal).
+
+The paper observes that different interval lengths suit different
+programs -- m88ksim and vortex need long intervals to see their bursty
+candidates, deltablue's coarse phases make very long intervals
+unstable -- and suggests "one can potentially adaptively pick the
+appropriate interval length for a given program".  This module
+implements that proposal as a measurement-driven selector: candidate
+lengths are scored by how *stable* their candidate sets are across
+consecutive intervals, and the shortest length whose instability is
+within a tolerance of the best is chosen (shorter intervals give a
+more responsive profiler, the paper's "timely" goal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..workloads.analysis import candidate_variation, interval_statistics
+from ..workloads.generators import TupleStreamGenerator
+
+
+@dataclass(frozen=True)
+class IntervalChoice:
+    """Outcome of adaptive selection for one stream.
+
+    ``mean_variation`` maps each candidate length to its mean
+    consecutive-interval candidate variation (percent); ``selected``
+    is the chosen length.
+    """
+
+    selected: int
+    mean_variation: Dict[int, float]
+
+    def variation_of(self, length: int) -> float:
+        return self.mean_variation[length]
+
+
+def select_interval_length(generator: TupleStreamGenerator,
+                           lengths: Sequence[int],
+                           threshold: float = 0.001,
+                           intervals_per_length: int = 8,
+                           tolerance: float = 5.0) -> IntervalChoice:
+    """Choose a profile-interval length by candidate stability.
+
+    Each candidate *length* is probed with *intervals_per_length*
+    intervals (the generator is rewound between probes so every length
+    sees the same stream prefix); its score is the mean percent
+    candidate variation between consecutive intervals.  The shortest
+    length whose score is within *tolerance* percentage points of the
+    minimum wins -- responsiveness breaks ties.
+
+    The candidate *threshold* is a fraction of the interval, matching
+    the paper's percentage-of-interval-length definition.
+    """
+    if not lengths:
+        raise ValueError("at least one candidate length is required")
+    if intervals_per_length < 2:
+        raise ValueError(
+            f"need at least two intervals to measure variation, got "
+            f"{intervals_per_length}")
+    mean_variation: Dict[int, float] = {}
+    for length in lengths:
+        generator.reset()
+        statistics = interval_statistics(generator, length,
+                                         intervals_per_length,
+                                         thresholds=(threshold,))
+        variations = candidate_variation(
+            statistics.candidate_sets[threshold])
+        mean_variation[length] = (sum(variations) / len(variations)
+                                  if variations else 0.0)
+    generator.reset()
+    best = min(mean_variation.values())
+    for length in sorted(lengths):
+        if mean_variation[length] <= best + tolerance:
+            return IntervalChoice(selected=length,
+                                  mean_variation=mean_variation)
+    # Unreachable: the minimum itself always satisfies the bound.
+    raise AssertionError("no candidate length satisfied its own minimum")

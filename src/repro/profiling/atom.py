@@ -1,0 +1,164 @@
+"""ATOM-like instrumentation over the SimpleAlpha machine.
+
+The paper gathers its traces with ATOM, a binary-instrumentation tool
+that inserts analysis callbacks at loads and branches.  This module
+plays that role for our simulator: an :class:`Instrumenter` attaches to
+a :class:`~repro.simulator.machine.Machine`'s hooks and either collects
+structured events, streams profile tuples straight into a hardware
+profiler, or records a replayable trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from ..core.base import HardwareProfiler
+from ..core.tuples import EventKind, ProfileTuple, make_tuple
+from ..simulator.machine import Machine
+from ..simulator.program import Program
+from ..workloads.traces import Trace
+from .events import BranchEvent, LoadEvent, StoreEvent
+
+#: Sink receiving each profile tuple as it is observed.
+TupleSink = Callable[[ProfileTuple], None]
+
+
+@dataclass
+class EventLog:
+    """Structured events collected from one instrumented run."""
+
+    loads: List[LoadEvent] = field(default_factory=list)
+    branches: List[BranchEvent] = field(default_factory=list)
+    stores: List[StoreEvent] = field(default_factory=list)
+
+    def tuples(self, kind: EventKind) -> List[ProfileTuple]:
+        """Flatten the log into profile tuples for *kind*, in order."""
+        if kind is EventKind.VALUE:
+            return [event.value_tuple() for event in self.loads]
+        if kind is EventKind.EDGE:
+            return [event.edge_tuple() for event in self.branches]
+        if kind is EventKind.CACHE_MISS:
+            return [event.address_tuple() for event in self.loads]
+        raise ValueError(f"unsupported event kind {kind!r}")
+
+
+class Instrumenter:
+    """Attach profiling observation to a machine, ATOM-style.
+
+    Use :meth:`collect` for a full structured log, :meth:`stream_to`
+    to drive a hardware profiler during execution (the pure-hardware
+    deployment the paper proposes), or :func:`trace_events` for a
+    compact replayable trace.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._detachers: List[Callable[[], None]] = []
+
+    def on_load(self, hook: Callable[[LoadEvent], None]) -> None:
+        """Invoke *hook* with a :class:`LoadEvent` at every load."""
+        def adapter(pc: int, address: int, value: int) -> None:
+            hook(LoadEvent(pc=pc, address=address, value=value))
+
+        self.machine.load_hooks.append(adapter)
+        self._detachers.append(
+            lambda: self.machine.load_hooks.remove(adapter))
+
+    def on_branch(self, hook: Callable[[BranchEvent], None]) -> None:
+        """Invoke *hook* with a :class:`BranchEvent` at every transfer."""
+        def adapter(pc: int, target: int, taken: bool) -> None:
+            hook(BranchEvent(pc=pc, target=target, taken=taken))
+
+        self.machine.branch_hooks.append(adapter)
+        self._detachers.append(
+            lambda: self.machine.branch_hooks.remove(adapter))
+
+    def on_store(self, hook: Callable[[StoreEvent], None]) -> None:
+        """Invoke *hook* with a :class:`StoreEvent` at every store."""
+        def adapter(pc: int, address: int, value: int) -> None:
+            hook(StoreEvent(pc=pc, address=address, value=value))
+
+        self.machine.store_hooks.append(adapter)
+        self._detachers.append(
+            lambda: self.machine.store_hooks.remove(adapter))
+
+    def detach(self) -> None:
+        """Remove every hook this instrumenter installed."""
+        for detacher in self._detachers:
+            detacher()
+        self._detachers.clear()
+
+    def collect(self, max_instructions: int = 10_000_000) -> EventLog:
+        """Run the machine to completion, logging structured events."""
+        log = EventLog()
+        self.on_load(log.loads.append)
+        self.on_branch(log.branches.append)
+        self.on_store(log.stores.append)
+        try:
+            self.machine.run(max_instructions)
+        finally:
+            self.detach()
+        return log
+
+    def stream_to(self, profiler: HardwareProfiler, kind: EventKind,
+                  max_instructions: int = 10_000_000) -> HardwareProfiler:
+        """Run the machine, feeding *profiler* tuples of *kind* live.
+
+        This is the paper's deployment model: the profiler watches the
+        pipeline's committed events directly, with no trace in between.
+        Interval boundaries remain the caller's job (call
+        ``profiler.end_interval()`` afterwards or segment with
+        ``profiler.run`` over a trace for exact intervals).
+        """
+        if kind is EventKind.VALUE:
+            self.on_load(lambda event: profiler.observe(
+                make_tuple(event.pc, event.value)))
+        elif kind is EventKind.EDGE:
+            self.on_branch(lambda event: profiler.observe(
+                make_tuple(event.pc, event.target)))
+        elif kind is EventKind.CACHE_MISS:
+            self.on_load(lambda event: profiler.observe(
+                make_tuple(event.pc, event.address)))
+        else:
+            raise ValueError(f"unsupported event kind {kind!r}")
+        try:
+            self.machine.run(max_instructions)
+        finally:
+            self.detach()
+        return profiler
+
+
+def trace_events(program: Program, kind: EventKind,
+                 max_instructions: int = 10_000_000) -> Trace:
+    """Run *program* and record its profile tuples as a trace.
+
+    The equivalent of an ATOM trace run: execute once, keep the tuple
+    stream, replay it into as many profiler configurations as needed.
+    """
+    machine = Machine(program)
+    pcs: List[int] = []
+    values: List[int] = []
+
+    def sink(event_tuple: ProfileTuple) -> None:
+        pcs.append(event_tuple[0])
+        values.append(event_tuple[1])
+
+    instrumenter = Instrumenter(machine)
+    if kind is EventKind.VALUE:
+        instrumenter.on_load(lambda event: sink(event.value_tuple()))
+    elif kind is EventKind.EDGE:
+        instrumenter.on_branch(lambda event: sink(event.edge_tuple()))
+    elif kind is EventKind.CACHE_MISS:
+        instrumenter.on_load(lambda event: sink(event.address_tuple()))
+    else:
+        raise ValueError(f"unsupported event kind {kind!r}")
+    try:
+        machine.run(max_instructions)
+    finally:
+        instrumenter.detach()
+    return Trace(pcs=np.array(pcs, dtype=np.uint64),
+                 values=np.array(values, dtype=np.uint64),
+                 kind=kind, source=f"simulator:{len(program)} insns")

@@ -1,0 +1,95 @@
+"""Structured profiling events and their tuple encodings.
+
+The instrumentation layer observes rich machine events (loads with
+addresses, branches with directions); the profiler consumes flat
+tuples.  These records keep the rich form for analyses that want it and
+define the canonical encodings of Section 3:
+
+* value profiling: ``<load PC, loaded value>``
+* edge profiling: ``<branch PC, target PC>``
+* cache-miss profiling (a Section 2 motivation): ``<load PC, miss
+  address>``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tuples import EventKind, ProfileTuple, make_tuple
+
+
+@dataclass(frozen=True)
+class LoadEvent:
+    """One committed load: where, from where, and what it read."""
+
+    pc: int
+    address: int
+    value: int
+
+    def value_tuple(self) -> ProfileTuple:
+        """The value-profiling name ``<pc, value>``."""
+        return make_tuple(self.pc, self.value)
+
+    def address_tuple(self) -> ProfileTuple:
+        """``<pc, address>`` -- the cache-miss-style name."""
+        return make_tuple(self.pc, self.address)
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """One control transfer: branch PC, destination, and direction.
+
+    ``taken`` is ``False`` only for a fall-through conditional branch;
+    unconditional and indirect transfers are always taken.
+    """
+
+    pc: int
+    target: int
+    taken: bool
+
+    def edge_tuple(self) -> ProfileTuple:
+        """The edge-profiling name ``<branch pc, target pc>``.
+
+        Fall-through edges are real edges too: the destination encodes
+        the direction, so ``<pc, fallthrough>`` and ``<pc, taken>``
+        are distinct tuples, matching edge-profile semantics.
+        """
+        return make_tuple(self.pc, self.target)
+
+
+@dataclass(frozen=True)
+class StoreEvent:
+    """One committed store (not profiled by the paper; kept for
+    extensions such as silent-store detection)."""
+
+    pc: int
+    address: int
+    value: int
+
+    def value_tuple(self) -> ProfileTuple:
+        """``<pc, stored value>``."""
+        return make_tuple(self.pc, self.value)
+
+
+def tuple_for(kind: EventKind, event) -> ProfileTuple:
+    """Encode a structured event as the tuple for *kind*.
+
+    Raises :class:`TypeError` when the event cannot produce the
+    requested kind (e.g. a branch event for value profiling).
+    """
+    if kind is EventKind.VALUE:
+        if isinstance(event, (LoadEvent, StoreEvent)):
+            return event.value_tuple()
+        raise TypeError(f"value profiling needs load/store events, got "
+                        f"{type(event).__name__}")
+    if kind is EventKind.EDGE:
+        if isinstance(event, BranchEvent):
+            return event.edge_tuple()
+        raise TypeError(f"edge profiling needs branch events, got "
+                        f"{type(event).__name__}")
+    if kind is EventKind.CACHE_MISS:
+        if isinstance(event, LoadEvent):
+            return event.address_tuple()
+        raise TypeError(f"cache-miss profiling needs load events, got "
+                        f"{type(event).__name__}")
+    raise ValueError(f"unsupported event kind {kind!r}")

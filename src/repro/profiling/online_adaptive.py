@@ -1,0 +1,167 @@
+"""Online adaptive interval-length control (Section 5.6.1, realized).
+
+The paper observes that the right interval length is program-specific
+and suggests adapting it at run time.  :mod:`repro.profiling.adaptive`
+implements the *offline* selector; this module implements the *online*
+mechanism: a wrapper around any interval profiler that watches the
+candidate-set churn between consecutive intervals and adjusts the
+interval length geometrically --
+
+* churn above ``grow_threshold`` means candidates do not survive an
+  interval (bursty behaviour, m88ksim-style): **lengthen** intervals to
+  average the bursts out;
+* churn below ``shrink_threshold`` for several consecutive intervals
+  means behaviour is stable: **shorten** intervals for responsiveness
+  (the paper's "timely" goal), down to the configured floor.
+
+The controller needs only state the hardware already has (the previous
+interval's accumulator contents), so it remains a pure-hardware
+mechanism: a comparator over the retained candidate set and a shift of
+the interval-length register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from ..core.base import HardwareProfiler, IntervalProfile
+from ..core.config import IntervalSpec, ProfilerConfig
+from ..core.multi_hash import build_profiler
+from ..core.tuples import ProfileTuple
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Controller parameters for online interval adaptation."""
+
+    min_length: int = 10_000
+    max_length: int = 1_000_000
+    grow_threshold: float = 40.0
+    shrink_threshold: float = 10.0
+    stable_intervals_to_shrink: int = 3
+    scale_factor: int = 4
+
+    def __post_init__(self) -> None:
+        if self.min_length < 1 or self.max_length < self.min_length:
+            raise ValueError(
+                f"need 1 <= min_length <= max_length, got "
+                f"{self.min_length}..{self.max_length}")
+        if not 0 <= self.shrink_threshold < self.grow_threshold <= 100:
+            raise ValueError(
+                f"need 0 <= shrink < grow <= 100, got "
+                f"{self.shrink_threshold} / {self.grow_threshold}")
+        if self.scale_factor < 2:
+            raise ValueError(f"scale_factor must be >= 2, got "
+                             f"{self.scale_factor}")
+
+
+@dataclass
+class AdaptationEvent:
+    """One controller decision, for inspection and tests."""
+
+    at_interval: int
+    churn: float
+    old_length: int
+    new_length: int
+
+
+class OnlineAdaptiveProfiler:
+    """Wrap a profiler configuration with interval-length control.
+
+    The wrapped profiler is rebuilt whenever the length changes (its
+    threshold *fraction* is preserved, so the accumulator bound is
+    unchanged).  Candidate history carries across rebuilds through the
+    churn measurement only -- exactly what retained accumulator state
+    would give hardware.
+    """
+
+    def __init__(self, config: ProfilerConfig,
+                 policy: AdaptivePolicy = AdaptivePolicy()) -> None:
+        self.base_config = config
+        self.policy = policy
+        length = min(max(config.interval.length, policy.min_length),
+                     policy.max_length)
+        self._threshold = config.interval.threshold
+        self.current_length = length
+        self.profiler = self._build(length)
+        self._previous: Optional[Set[ProfileTuple]] = None
+        self._stable_streak = 0
+        self._intervals = 0
+        #: Every length change the controller made.
+        self.adaptations: List[AdaptationEvent] = []
+        self.profiles: List[IntervalProfile] = []
+
+    def _build(self, length: int) -> HardwareProfiler:
+        from dataclasses import replace
+
+        config = replace(self.base_config,
+                         interval=IntervalSpec(length, self._threshold))
+        return build_profiler(config)
+
+    def run(self, events: Iterable[ProfileTuple],
+            max_intervals: Optional[int] = None) -> List[IntervalProfile]:
+        """Consume *events*, adapting the interval length as it goes."""
+        pending = 0
+        for event in events:
+            self.profiler.observe(event)
+            pending += 1
+            if pending < self.current_length:
+                continue
+            pending = 0
+            self._finish_interval()
+            if max_intervals is not None \
+                    and self._intervals >= max_intervals:
+                break
+        return self.profiles
+
+    def _finish_interval(self) -> None:
+        profile = self.profiler.end_interval()
+        self.profiles.append(profile)
+        self._intervals += 1
+        current = set(profile.candidates)
+        if self._previous is not None:
+            churn = _churn(self._previous, current)
+            self._steer(churn)
+        self._previous = current
+
+    def _steer(self, churn: float) -> None:
+        policy = self.policy
+        if churn > policy.grow_threshold \
+                and self.current_length < policy.max_length:
+            self._resize(min(policy.max_length,
+                             self.current_length * policy.scale_factor),
+                         churn)
+            self._stable_streak = 0
+            return
+        if churn < policy.shrink_threshold:
+            self._stable_streak += 1
+            if (self._stable_streak
+                    >= policy.stable_intervals_to_shrink
+                    and self.current_length > policy.min_length):
+                self._resize(max(policy.min_length,
+                                 self.current_length
+                                 // policy.scale_factor), churn)
+                self._stable_streak = 0
+        else:
+            self._stable_streak = 0
+
+    def _resize(self, new_length: int, churn: float) -> None:
+        if new_length == self.current_length:
+            return
+        self.adaptations.append(AdaptationEvent(
+            at_interval=self._intervals, churn=churn,
+            old_length=self.current_length, new_length=new_length))
+        self.current_length = new_length
+        self.profiler = self._build(new_length)
+        # Candidate sets at different lengths are not comparable; start
+        # the churn measurement fresh.
+        self._previous = None
+
+
+def _churn(previous: Set[ProfileTuple],
+           current: Set[ProfileTuple]) -> float:
+    union = previous | current
+    if not union:
+        return 0.0
+    return 100.0 * len(previous ^ current) / len(union)

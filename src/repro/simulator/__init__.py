@@ -1,0 +1,56 @@
+"""SimpleAlpha: the ISA, assembler, machine and synthetic programs.
+
+This package is the substitute for the paper's DEC Alpha + ATOM
+testbed: programs run on :class:`~repro.simulator.machine.Machine`,
+whose load/branch hooks feed the instrumentation layer in
+:mod:`repro.profiling.atom`.
+"""
+
+from .assembler import AssemblyError, assemble
+from .isa import (CONDITIONAL_OPCODES, CONTROL_OPCODES, INSTRUCTION_BYTES,
+                  LINK_REGISTER, NUM_REGISTERS, WORD_MASK, Instruction,
+                  Opcode)
+from .machine import Machine, MachineFault, MachineState
+from .memory import Memory
+from .program import Program
+from .branch_predictor import GSharePredictor, PredictorStats, TwoBitPredictor
+from .cache import (CacheConfig, CachedMachineMemory, CacheStats,
+                    SetAssociativeCache)
+from .synth import (dispatch_program, dispatch_source, mixed_program,
+                    mixed_source, regional_program, regional_source,
+                    skewed_values, value_locality_program,
+                    value_locality_source)
+
+__all__ = [
+    "CacheConfig",
+    "CachedMachineMemory",
+    "CacheStats",
+    "GSharePredictor",
+    "PredictorStats",
+    "SetAssociativeCache",
+    "TwoBitPredictor",
+    "AssemblyError",
+    "CONDITIONAL_OPCODES",
+    "CONTROL_OPCODES",
+    "INSTRUCTION_BYTES",
+    "Instruction",
+    "LINK_REGISTER",
+    "Machine",
+    "MachineFault",
+    "MachineState",
+    "Memory",
+    "NUM_REGISTERS",
+    "Opcode",
+    "Program",
+    "WORD_MASK",
+    "assemble",
+    "dispatch_program",
+    "dispatch_source",
+    "mixed_program",
+    "mixed_source",
+    "regional_program",
+    "regional_source",
+    "skewed_values",
+    "value_locality_program",
+    "value_locality_source",
+]

@@ -1,0 +1,232 @@
+"""Two-pass assembler for SimpleAlpha source text.
+
+Syntax, one statement per line::
+
+    ; full-line or trailing comments with ';'
+    label:                      ; labels stand alone or prefix a line
+    loop: add r1, r2, r3
+          ld   r4, r2, 8        ; rd, base, displacement
+          beqz r4, done         ; branch targets may be labels
+          ldi  r5, table        ; immediates may be labels (addresses)
+          br   loop
+    done: halt
+
+    .data table 5, 6, 7         ; words at the next data address
+    .base 0x2000                ; code base (default 0x1000)
+    .dbase 0x100000             ; data base (default 0x10_0000)
+
+Pass one collects label addresses (code labels get PCs, ``.data``
+labels get word addresses); pass two encodes instructions, resolving
+label immediates.  Errors carry the offending line number and text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .isa import (INSTRUCTION_BYTES, NUM_REGISTERS, OPERAND_SHAPES,
+                  Instruction, Opcode)
+from .program import Program
+
+#: Default address of the first data word.
+DEFAULT_DATA_BASE = 0x10_0000
+
+_LABEL_PATTERN = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_REGISTER_PATTERN = re.compile(r"^r([0-9]+)$")
+
+_MNEMONICS = {opcode.value: opcode for opcode in Opcode}
+
+
+class AssemblyError(ValueError):
+    """A source error, annotated with line number and text."""
+
+    def __init__(self, line_number: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_number}: {message} -- {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+def assemble(source: str, code_base: int = 0x1000) -> Program:
+    """Assemble *source* into a :class:`~repro.simulator.program.Program`."""
+    statements = _parse(source)
+    code_base, data_base = _scan_directives(statements, code_base)
+    symbols = _collect_symbols(statements, code_base, data_base)
+    instructions: List[Instruction] = []
+    data: Dict[int, int] = {}
+    data_cursor = data_base
+    for statement in statements:
+        kind = statement["kind"]
+        if kind == "instruction":
+            instructions.append(_encode(statement, symbols))
+        elif kind == "data":
+            for value in statement["values"]:
+                data[data_cursor] = _resolve(value, symbols, statement)
+                data_cursor += 1
+    if not instructions:
+        raise AssemblyError(0, "", "program has no instructions")
+    return Program(instructions=instructions, data=data, symbols=symbols,
+                   code_base=code_base)
+
+
+def _parse(source: str) -> List[dict]:
+    """Split source into labelled statements (labels, code, data)."""
+    statements: List[dict] = []
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        while True:
+            head, colon, rest = line.partition(":")
+            if colon and _LABEL_PATTERN.match(head.strip()):
+                statements.append({"kind": "label",
+                                   "name": head.strip(),
+                                   "line_number": line_number,
+                                   "line": raw})
+                line = rest.strip()
+                if not line:
+                    break
+                continue
+            break
+        if not line:
+            continue
+        if line.startswith("."):
+            statements.append(_parse_directive(line, line_number, raw))
+        else:
+            statements.append(_parse_instruction(line, line_number, raw))
+    return statements
+
+
+def _parse_directive(line: str, line_number: int, raw: str) -> dict:
+    parts = line.split(None, 1)
+    directive = parts[0]
+    body = parts[1] if len(parts) > 1 else ""
+    if directive == ".data":
+        pieces = body.split(None, 1)
+        if len(pieces) != 2:
+            raise AssemblyError(line_number, raw,
+                                ".data needs a label and at least one value")
+        name, values_text = pieces
+        if not _LABEL_PATTERN.match(name):
+            raise AssemblyError(line_number, raw,
+                                f"bad data label {name!r}")
+        values = [value.strip() for value in values_text.split(",")]
+        if not all(values):
+            raise AssemblyError(line_number, raw, "empty data value")
+        return {"kind": "data", "name": name, "values": values,
+                "line_number": line_number, "line": raw}
+    if directive in (".base", ".dbase"):
+        try:
+            address = int(body.strip(), 0)
+        except ValueError:
+            raise AssemblyError(line_number, raw,
+                                f"bad address for {directive}") from None
+        return {"kind": directive[1:], "address": address,
+                "line_number": line_number, "line": raw}
+    raise AssemblyError(line_number, raw,
+                        f"unknown directive {directive!r}")
+
+
+def _parse_instruction(line: str, line_number: int, raw: str) -> dict:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    opcode = _MNEMONICS.get(mnemonic)
+    if opcode is None:
+        raise AssemblyError(line_number, raw,
+                            f"unknown mnemonic {mnemonic!r}")
+    operands = ([operand.strip() for operand in parts[1].split(",")]
+                if len(parts) > 1 else [])
+    if operands and not all(operands):
+        raise AssemblyError(line_number, raw, "empty operand")
+    return {"kind": "instruction", "opcode": opcode, "operands": operands,
+            "line_number": line_number, "line": raw}
+
+
+def _scan_directives(statements: List[dict],
+                     code_base: int) -> Tuple[int, int]:
+    data_base = DEFAULT_DATA_BASE
+    for statement in statements:
+        if statement["kind"] == "base":
+            code_base = statement["address"]
+        elif statement["kind"] == "dbase":
+            data_base = statement["address"]
+    return code_base, data_base
+
+
+def _collect_symbols(statements: List[dict], code_base: int,
+                     data_base: int) -> Dict[str, int]:
+    symbols: Dict[str, int] = {}
+    pc = code_base
+    data_cursor = data_base
+    pending_labels: List[dict] = []
+    for statement in statements:
+        kind = statement["kind"]
+        if kind == "label":
+            pending_labels.append(statement)
+        elif kind == "instruction":
+            for label in pending_labels:
+                _define(symbols, label, pc)
+            pending_labels.clear()
+            pc += INSTRUCTION_BYTES
+        elif kind == "data":
+            for label in pending_labels:
+                _define(symbols, label, data_cursor)
+            pending_labels.clear()
+            _define(symbols, statement, data_cursor)
+            data_cursor += len(statement["values"])
+    for label in pending_labels:
+        # Trailing labels point one past the last instruction.
+        _define(symbols, label, pc)
+    return symbols
+
+
+def _define(symbols: Dict[str, int], statement: dict, address: int) -> None:
+    name = statement["name"]
+    if name in symbols:
+        raise AssemblyError(statement["line_number"], statement["line"],
+                            f"duplicate label {name!r}")
+    symbols[name] = address
+
+
+def _encode(statement: dict, symbols: Dict[str, int]) -> Instruction:
+    opcode: Opcode = statement["opcode"]
+    num_registers, has_immediate = OPERAND_SHAPES[opcode]
+    operands: List[str] = statement["operands"]
+    expected = num_registers + (1 if has_immediate else 0)
+    if len(operands) != expected:
+        raise AssemblyError(
+            statement["line_number"], statement["line"],
+            f"{opcode.value} takes {expected} operand(s), got "
+            f"{len(operands)}")
+    registers = tuple(_register(operand, statement)
+                      for operand in operands[:num_registers])
+    immediate: Optional[int] = None
+    if has_immediate:
+        immediate = _resolve(operands[-1], symbols, statement)
+    return Instruction(opcode=opcode, registers=registers,
+                       immediate=immediate)
+
+
+def _register(text: str, statement: dict) -> int:
+    match = _REGISTER_PATTERN.match(text)
+    if not match:
+        raise AssemblyError(statement["line_number"], statement["line"],
+                            f"expected a register, got {text!r}")
+    number = int(match.group(1))
+    if number >= NUM_REGISTERS:
+        raise AssemblyError(statement["line_number"], statement["line"],
+                            f"register r{number} out of range")
+    return number
+
+
+def _resolve(text: str, symbols: Dict[str, int], statement: dict) -> int:
+    if _LABEL_PATTERN.match(text):
+        if text in symbols:
+            return symbols[text]
+        raise AssemblyError(statement["line_number"], statement["line"],
+                            f"undefined label {text!r}")
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(statement["line_number"], statement["line"],
+                            f"bad immediate {text!r}") from None

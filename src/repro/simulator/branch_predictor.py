@@ -1,0 +1,110 @@
+"""Branch-direction predictors.
+
+Substrate for the Multiple Path Execution motivation (Section 2): the
+profiler's job there is to find the *hard* branches -- those a
+conventional predictor keeps mispredicting -- so the expensive
+dual-path machinery is spent only on them.  This module provides the
+conventional predictors whose mispredictions generate those profiling
+events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class PredictorStats:
+    """Prediction accounting."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class TwoBitPredictor:
+    """Classic 2-bit saturating-counter bimodal predictor.
+
+    ``entries`` counters indexed by branch PC (word-granular); counter
+    states 0-1 predict not-taken, 2-3 predict taken.
+    """
+
+    def __init__(self, entries: int = 1024) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a positive power of two, "
+                             f"got {entries}")
+        self.entries = entries
+        self._counters: List[int] = [1] * entries  # weakly not-taken
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at *pc*."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns ``True`` on a misprediction."""
+        index = self._index(pc)
+        predicted = self._counters[index] >= 2
+        mispredicted = predicted != taken
+        self.stats.predictions += 1
+        if mispredicted:
+            self.stats.mispredictions += 1
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(3, counter + 1)
+        else:
+            self._counters[index] = max(0, counter - 1)
+        return mispredicted
+
+
+class GSharePredictor:
+    """Gshare: global history XORed into the counter index.
+
+    Captures correlated branches the bimodal predictor cannot; the
+    hard-branch client compares both to show that the profiler finds
+    branches hard for *either* predictor.
+    """
+
+    def __init__(self, entries: int = 1024, history_bits: int = 8) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a positive power of two, "
+                             f"got {entries}")
+        if not 0 < history_bits <= 20:
+            raise ValueError(f"history_bits must be in (0, 20], got "
+                             f"{history_bits}")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._history = 0
+        self._counters: List[int] = [1] * entries
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        index = self._index(pc)
+        predicted = self._counters[index] >= 2
+        mispredicted = predicted != taken
+        self.stats.predictions += 1
+        if mispredicted:
+            self.stats.mispredictions += 1
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(3, counter + 1)
+        else:
+            self._counters[index] = max(0, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) \
+            & ((1 << self.history_bits) - 1)
+        return mispredicted

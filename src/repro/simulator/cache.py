@@ -1,0 +1,162 @@
+"""Set-associative data-cache model.
+
+Substrate for the cache-oriented motivations of Section 2 (cache
+replacement, prefetching): classifies each load as hit or miss so the
+profiler can be fed ``<load PC, miss address>`` tuples, and hosts the
+prefetch client (:mod:`repro.clients.prefetch`) that consumes the
+resulting profile.  LRU replacement, word-addressed lines, optional
+next-line allocation on prefetch requests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a cache: ``sets x ways`` lines of ``line_words``."""
+
+    sets: int = 64
+    ways: int = 2
+    line_words: int = 8
+
+    def __post_init__(self) -> None:
+        if self.sets <= 0 or self.sets & (self.sets - 1):
+            raise ValueError(f"sets must be a positive power of two, "
+                             f"got {self.sets}")
+        if self.ways <= 0:
+            raise ValueError(f"ways must be positive, got {self.ways}")
+        if self.line_words <= 0 or self.line_words & (self.line_words - 1):
+            raise ValueError(f"line_words must be a positive power of "
+                             f"two, got {self.line_words}")
+
+    @property
+    def total_lines(self) -> int:
+        return self.sets * self.ways
+
+    @property
+    def capacity_words(self) -> int:
+        return self.total_lines * self.line_words
+
+
+@dataclass
+class CacheStats:
+    """Access accounting, split by demand and prefetch traffic."""
+
+    accesses: int = 0
+    misses: int = 0
+    prefetches_issued: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched lines that served a later demand hit."""
+        if not self.prefetches_issued:
+            return 0.0
+        return self.prefetch_hits / self.prefetches_issued
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache of 64-bit words.
+
+    Lines are tracked by line number (``address // line_words``); the
+    model holds no data, only presence, which is all hit/miss
+    classification needs.
+    """
+
+    def __init__(self, config: CacheConfig = CacheConfig()) -> None:
+        self.config = config
+        # One LRU-ordered {line_number: was_prefetched} map per set.
+        self._sets: List[OrderedDict] = [OrderedDict()
+                                         for _ in range(config.sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> Tuple[int, OrderedDict]:
+        line_number = address // self.config.line_words
+        return line_number, self._sets[line_number % self.config.sets]
+
+    def access(self, address: int) -> bool:
+        """One demand access; returns ``True`` on a miss (and fills)."""
+        self.stats.accesses += 1
+        line_number, ways = self._locate(address)
+        if line_number in ways:
+            if ways[line_number]:
+                # First demand touch of a prefetched line.
+                self.stats.prefetch_hits += 1
+                ways[line_number] = False
+            ways.move_to_end(line_number)
+            return False
+        self.stats.misses += 1
+        self._fill(ways, line_number, prefetched=False)
+        return True
+
+    def prefetch(self, address: int) -> bool:
+        """Bring a line in ahead of demand; returns ``True`` if it was
+        absent (a useful issue)."""
+        line_number, ways = self._locate(address)
+        if line_number in ways:
+            return False
+        self.stats.prefetches_issued += 1
+        self._fill(ways, line_number, prefetched=True)
+        return True
+
+    def _fill(self, ways: OrderedDict, line_number: int,
+              prefetched: bool) -> None:
+        if len(ways) >= self.config.ways:
+            ways.popitem(last=False)  # evict LRU
+        ways[line_number] = prefetched
+
+    def contains(self, address: int) -> bool:
+        """Presence check without side effects (diagnostic)."""
+        line_number, ways = self._locate(address)
+        return line_number in ways
+
+    def flush(self) -> None:
+        """Invalidate every line (statistics are preserved)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def line_address(self, address: int) -> int:
+        """The first word address of *address*'s line (the natural
+        second tuple member for miss profiling)."""
+        words = self.config.line_words
+        return (address // words) * words
+
+
+class CachedMachineMemory:
+    """Attach a cache model to a running machine's loads.
+
+    Registers a load hook on *machine* that classifies every load and
+    invokes *on_miss* (if given) with the structured miss information.
+    The machine's architectural memory is unaffected -- the cache is a
+    performance model, exactly like the paper's decoupled profiling
+    hardware.
+    """
+
+    def __init__(self, machine, cache: Optional[SetAssociativeCache] = None,
+                 on_miss=None) -> None:
+        self.machine = machine
+        self.cache = cache or SetAssociativeCache()
+        self.on_miss = on_miss
+        self.miss_pcs: Dict[int, int] = {}
+        machine.load_hooks.append(self._observe)
+
+    def _observe(self, pc: int, address: int, value: int) -> None:
+        if self.cache.access(address):
+            self.miss_pcs[pc] = self.miss_pcs.get(pc, 0) + 1
+            if self.on_miss is not None:
+                self.on_miss(pc, address, value)
+
+    def detach(self) -> None:
+        self.machine.load_hooks.remove(self._observe)

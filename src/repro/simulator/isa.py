@@ -1,0 +1,146 @@
+"""The SimpleAlpha instruction set.
+
+A compact 64-bit register machine standing in for the paper's DEC Alpha
+testbed.  It is deliberately small but complete enough to write real
+programs: 32 general registers, word-addressed memory, ALU ops,
+loads/stores with displacement, conditional branches, direct and
+indirect jumps, and call/return through a link register -- everything
+the instrumentation layer needs to observe load values and branch edges
+(the paper's two profiled event kinds).
+
+Instructions are fixed four-byte words; PCs therefore advance by
+:data:`INSTRUCTION_BYTES` and branch targets are instruction addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Number of general-purpose registers (r0-r31).
+NUM_REGISTERS = 32
+
+#: Link register used by CALL/RET.
+LINK_REGISTER = 31
+
+#: Bytes per instruction; PCs step by this.
+INSTRUCTION_BYTES = 4
+
+#: Register width; all arithmetic wraps modulo 2**64.
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class Opcode(enum.Enum):
+    """Every SimpleAlpha operation."""
+
+    # ALU register-register: rd <- ra OP rb
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMPLT = "cmplt"  # rd <- 1 if ra < rb else 0 (unsigned)
+    CMPEQ = "cmpeq"
+    # ALU register-immediate: rd <- ra OP imm
+    ADDI = "addi"
+    MULI = "muli"
+    ANDI = "andi"
+    XORI = "xori"
+    # Constant load: rd <- imm
+    LDI = "ldi"
+    # Memory: LD rd, ra, imm  /  ST rs, ra, imm  (address = ra + imm)
+    LD = "ld"
+    ST = "st"
+    # Control flow
+    BEQZ = "beqz"  # if ra == 0 jump to imm
+    BNEZ = "bnez"  # if ra != 0 jump to imm
+    BR = "br"      # unconditional direct jump to imm
+    JR = "jr"      # indirect jump to address in ra
+    CALL = "call"  # r31 <- return pc; jump to imm
+    RET = "ret"    # jump to address in r31
+    # Misc
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Opcodes that terminate basic blocks (all transfers of control).
+CONTROL_OPCODES = frozenset({
+    Opcode.BEQZ, Opcode.BNEZ, Opcode.BR, Opcode.JR, Opcode.CALL,
+    Opcode.RET, Opcode.HALT,
+})
+
+#: Conditional branches (profiled as edges when taken or fall-through).
+CONDITIONAL_OPCODES = frozenset({Opcode.BEQZ, Opcode.BNEZ})
+
+#: Operand shape per opcode: (num_registers, has_immediate).
+OPERAND_SHAPES = {
+    Opcode.ADD: (3, False), Opcode.SUB: (3, False),
+    Opcode.MUL: (3, False), Opcode.AND: (3, False),
+    Opcode.OR: (3, False), Opcode.XOR: (3, False),
+    Opcode.SHL: (3, False), Opcode.SHR: (3, False),
+    Opcode.CMPLT: (3, False), Opcode.CMPEQ: (3, False),
+    Opcode.ADDI: (2, True), Opcode.MULI: (2, True),
+    Opcode.ANDI: (2, True), Opcode.XORI: (2, True),
+    Opcode.LDI: (1, True),
+    Opcode.LD: (2, True), Opcode.ST: (2, True),
+    Opcode.BEQZ: (1, True), Opcode.BNEZ: (1, True),
+    Opcode.BR: (0, True), Opcode.JR: (1, False),
+    Opcode.CALL: (0, True), Opcode.RET: (0, False),
+    Opcode.NOP: (0, False), Opcode.HALT: (0, False),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``registers`` holds the register operands in opcode order (for
+    three-operand ALU ops: destination, source a, source b; for LD:
+    destination, base; for ST: source, base).  ``immediate`` is the
+    constant / displacement / branch target when the shape has one.
+    """
+
+    opcode: Opcode
+    registers: Tuple[int, ...] = ()
+    immediate: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        shape = OPERAND_SHAPES[self.opcode]
+        num_registers, has_immediate = shape
+        if len(self.registers) != num_registers:
+            raise ValueError(
+                f"{self.opcode.value} takes {num_registers} register "
+                f"operand(s), got {len(self.registers)}")
+        for register in self.registers:
+            if not 0 <= register < NUM_REGISTERS:
+                raise ValueError(
+                    f"register r{register} out of range 0..{NUM_REGISTERS - 1}")
+        if has_immediate and self.immediate is None:
+            raise ValueError(f"{self.opcode.value} requires an immediate")
+        if not has_immediate and self.immediate is not None:
+            raise ValueError(
+                f"{self.opcode.value} takes no immediate, got "
+                f"{self.immediate}")
+
+    @property
+    def is_control(self) -> bool:
+        return self.opcode in CONTROL_OPCODES
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.opcode in CONDITIONAL_OPCODES
+
+    def render(self) -> str:
+        """Assembler-syntax rendering of the instruction."""
+        parts = [self.opcode.value]
+        operands = [f"r{register}" for register in self.registers]
+        if self.immediate is not None:
+            operands.append(str(self.immediate))
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)

@@ -1,0 +1,207 @@
+"""The SimpleAlpha interpreter with observation hooks.
+
+The machine is observable in exactly the way ATOM instruments binaries:
+callbacks fire on committed loads (with PC, address and loaded value),
+on control transfers (with branch PC, target and direction) and on
+stores.  The profiling layer (:mod:`repro.profiling.atom`) turns those
+callbacks into the paper's ``<pc, value>`` and ``<branchPC, targetPC>``
+tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from .isa import (INSTRUCTION_BYTES, LINK_REGISTER, NUM_REGISTERS,
+                  WORD_MASK, Instruction, Opcode)
+from .memory import Memory
+from .program import Program
+
+#: ``hook(pc, address, value)`` for loads and stores.
+MemoryHook = Callable[[int, int, int], None]
+
+#: ``hook(pc, target, taken)`` for control transfers.
+BranchHook = Callable[[int, int, bool], None]
+
+
+class MachineFault(RuntimeError):
+    """Fatal execution fault (bad fetch, division by zero, bad jump)."""
+
+
+@dataclass
+class MachineState:
+    """Execution statistics for one run."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    halted: bool = False
+
+
+class Machine:
+    """Interprets a :class:`~repro.simulator.program.Program`.
+
+    Hooks are lists so several observers (e.g. a value profiler and an
+    edge profiler) can watch one execution, mirroring how one ATOM run
+    feeds multiple analyses.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.registers: List[int] = [0] * NUM_REGISTERS
+        self.memory = Memory()
+        for address, value in program.data.items():
+            self.memory.store(address, value)
+        self.pc = program.entry_point
+        self.state = MachineState()
+        self.load_hooks: List[MemoryHook] = []
+        self.store_hooks: List[MemoryHook] = []
+        self.branch_hooks: List[BranchHook] = []
+
+    def read_register(self, number: int) -> int:
+        return self.registers[number]
+
+    def write_register(self, number: int, value: int) -> None:
+        self.registers[number] = value & WORD_MASK
+
+    def step(self) -> bool:
+        """Execute one instruction; returns ``False`` once halted."""
+        if self.state.halted:
+            return False
+        pc = self.pc
+        try:
+            instruction = self.program.fetch(pc)
+        except ValueError as error:
+            raise MachineFault(str(error)) from error
+        self.state.instructions += 1
+        next_pc = pc + INSTRUCTION_BYTES
+        self.pc = self._execute(instruction, pc, next_pc)
+        return not self.state.halted
+
+    def run(self, max_instructions: int = 10_000_000) -> MachineState:
+        """Run until HALT or the instruction budget is exhausted."""
+        if max_instructions <= 0:
+            raise ValueError(f"max_instructions must be positive, got "
+                             f"{max_instructions}")
+        budget = max_instructions
+        while budget > 0 and self.step():
+            budget -= 1
+        return self.state
+
+    def _execute(self, instruction: Instruction, pc: int,
+                 next_pc: int) -> int:
+        opcode = instruction.opcode
+        registers = self.registers
+        operands = instruction.registers
+
+        if opcode is Opcode.ADD:
+            rd, ra, rb = operands
+            registers[rd] = (registers[ra] + registers[rb]) & WORD_MASK
+        elif opcode is Opcode.SUB:
+            rd, ra, rb = operands
+            registers[rd] = (registers[ra] - registers[rb]) & WORD_MASK
+        elif opcode is Opcode.MUL:
+            rd, ra, rb = operands
+            registers[rd] = (registers[ra] * registers[rb]) & WORD_MASK
+        elif opcode is Opcode.AND:
+            rd, ra, rb = operands
+            registers[rd] = registers[ra] & registers[rb]
+        elif opcode is Opcode.OR:
+            rd, ra, rb = operands
+            registers[rd] = registers[ra] | registers[rb]
+        elif opcode is Opcode.XOR:
+            rd, ra, rb = operands
+            registers[rd] = registers[ra] ^ registers[rb]
+        elif opcode is Opcode.SHL:
+            rd, ra, rb = operands
+            registers[rd] = (registers[ra]
+                             << (registers[rb] & 63)) & WORD_MASK
+        elif opcode is Opcode.SHR:
+            rd, ra, rb = operands
+            registers[rd] = registers[ra] >> (registers[rb] & 63)
+        elif opcode is Opcode.CMPLT:
+            rd, ra, rb = operands
+            registers[rd] = 1 if registers[ra] < registers[rb] else 0
+        elif opcode is Opcode.CMPEQ:
+            rd, ra, rb = operands
+            registers[rd] = 1 if registers[ra] == registers[rb] else 0
+        elif opcode is Opcode.ADDI:
+            rd, ra = operands
+            registers[rd] = (registers[ra] + instruction.immediate) \
+                & WORD_MASK
+        elif opcode is Opcode.MULI:
+            rd, ra = operands
+            registers[rd] = (registers[ra] * instruction.immediate) \
+                & WORD_MASK
+        elif opcode is Opcode.ANDI:
+            rd, ra = operands
+            registers[rd] = registers[ra] & (instruction.immediate
+                                             & WORD_MASK)
+        elif opcode is Opcode.XORI:
+            rd, ra = operands
+            registers[rd] = registers[ra] ^ (instruction.immediate
+                                             & WORD_MASK)
+        elif opcode is Opcode.LDI:
+            (rd,) = operands
+            registers[rd] = instruction.immediate & WORD_MASK
+        elif opcode is Opcode.LD:
+            rd, ra = operands
+            address = (registers[ra] + instruction.immediate) & WORD_MASK
+            value = self.memory.load(address)
+            registers[rd] = value
+            self.state.loads += 1
+            for hook in self.load_hooks:
+                hook(pc, address, value)
+        elif opcode is Opcode.ST:
+            rs, ra = operands
+            address = (registers[ra] + instruction.immediate) & WORD_MASK
+            value = registers[rs]
+            self.memory.store(address, value)
+            self.state.stores += 1
+            for hook in self.store_hooks:
+                hook(pc, address, value)
+        elif opcode is Opcode.BEQZ:
+            (ra,) = operands
+            return self._branch(pc, next_pc, instruction.immediate,
+                                taken=registers[ra] == 0)
+        elif opcode is Opcode.BNEZ:
+            (ra,) = operands
+            return self._branch(pc, next_pc, instruction.immediate,
+                                taken=registers[ra] != 0)
+        elif opcode is Opcode.BR:
+            return self._jump(pc, instruction.immediate)
+        elif opcode is Opcode.JR:
+            (ra,) = operands
+            return self._jump(pc, registers[ra])
+        elif opcode is Opcode.CALL:
+            registers[LINK_REGISTER] = next_pc
+            return self._jump(pc, instruction.immediate)
+        elif opcode is Opcode.RET:
+            return self._jump(pc, registers[LINK_REGISTER])
+        elif opcode is Opcode.HALT:
+            self.state.halted = True
+        elif opcode is Opcode.NOP:
+            pass
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise MachineFault(f"unimplemented opcode {opcode!r}")
+        return next_pc
+
+    def _branch(self, pc: int, next_pc: int, target: int,
+                taken: bool) -> int:
+        self.state.branches += 1
+        if taken:
+            self.state.taken_branches += 1
+        destination = target if taken else next_pc
+        for hook in self.branch_hooks:
+            hook(pc, destination, taken)
+        return destination
+
+    def _jump(self, pc: int, target: int) -> int:
+        self.state.branches += 1
+        self.state.taken_branches += 1
+        for hook in self.branch_hooks:
+            hook(pc, target, True)
+        return target

@@ -1,0 +1,54 @@
+"""Sparse word-addressed memory for the SimpleAlpha machine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from .isa import WORD_MASK
+
+
+class Memory:
+    """A sparse 64-bit word memory.
+
+    Addresses are arbitrary non-negative integers (word granularity --
+    the machine has no sub-word accesses).  Unwritten words read as
+    zero, like zero-filled pages.  Values wrap to 64 bits on store.
+    """
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    def load(self, address: int) -> int:
+        """Read one word (0 when never written)."""
+        self._check_address(address)
+        return self._words.get(address, 0)
+
+    def store(self, address: int, value: int) -> None:
+        """Write one word (masked to 64 bits)."""
+        self._check_address(address)
+        self._words[address] = value & WORD_MASK
+
+    def load_block(self, address: int, count: int) -> list:
+        """Read *count* consecutive words."""
+        return [self.load(address + offset) for offset in range(count)]
+
+    def store_block(self, address: int, values: Iterable[int]) -> None:
+        """Write consecutive words starting at *address*."""
+        for offset, value in enumerate(values):
+            self.store(address + offset, value)
+
+    def written_words(self) -> Tuple[Tuple[int, int], ...]:
+        """All (address, value) pairs ever stored (diagnostic)."""
+        return tuple(sorted(self._words.items()))
+
+    def footprint(self) -> int:
+        """Number of distinct words written."""
+        return len(self._words)
+
+    def clear(self) -> None:
+        self._words.clear()
+
+    @staticmethod
+    def _check_address(address: int) -> None:
+        if address < 0:
+            raise ValueError(f"negative memory address {address}")

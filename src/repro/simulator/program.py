@@ -1,0 +1,87 @@
+"""Program container: instructions plus an initial data image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .isa import INSTRUCTION_BYTES, Instruction
+
+
+@dataclass
+class Program:
+    """An assembled SimpleAlpha program.
+
+    ``instructions[i]`` lives at PC ``code_base + i * INSTRUCTION_BYTES``.
+    ``data`` is the initial memory image (word address -> value);
+    ``symbols`` maps labels (code and data) to their addresses for
+    debugging and for tests that need to locate program points.
+    """
+
+    instructions: List[Instruction]
+    data: Dict[int, int] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    code_base: int = 0x1000
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError("a program needs at least one instruction")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def entry_point(self) -> int:
+        """PC of the first instruction."""
+        return self.code_base
+
+    @property
+    def end_pc(self) -> int:
+        """PC one past the last instruction."""
+        return self.code_base + len(self.instructions) * INSTRUCTION_BYTES
+
+    def pc_of(self, index: int) -> int:
+        """PC of instruction *index*."""
+        if not 0 <= index < len(self.instructions):
+            raise IndexError(f"instruction index {index} out of range "
+                             f"0..{len(self.instructions) - 1}")
+        return self.code_base + index * INSTRUCTION_BYTES
+
+    def fetch(self, pc: int) -> Instruction:
+        """Decode the instruction at *pc*.
+
+        Raises :class:`ValueError` for PCs outside the code segment or
+        not aligned to an instruction boundary -- the simulated machine
+        treats both as a fatal fetch fault.
+        """
+        offset = pc - self.code_base
+        if offset < 0 or pc >= self.end_pc:
+            raise ValueError(
+                f"fetch fault: pc {pc:#x} outside code segment "
+                f"[{self.code_base:#x}, {self.end_pc:#x})")
+        index, remainder = divmod(offset, INSTRUCTION_BYTES)
+        if remainder:
+            raise ValueError(f"fetch fault: pc {pc:#x} is misaligned")
+        return self.instructions[index]
+
+    def address_of(self, label: str) -> int:
+        """Address of a label, failing with the known labels listed."""
+        try:
+            return self.symbols[label]
+        except KeyError:
+            known = ", ".join(sorted(self.symbols)) or "(none)"
+            raise KeyError(f"unknown label {label!r}; known: {known}") \
+                from None
+
+    def listing(self) -> str:
+        """Human-readable disassembly with addresses and labels."""
+        by_address: Dict[int, List[str]] = {}
+        for label, address in self.symbols.items():
+            by_address.setdefault(address, []).append(label)
+        lines = []
+        for index, instruction in enumerate(self.instructions):
+            pc = self.pc_of(index)
+            for label in sorted(by_address.get(pc, ())):
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:#08x}  {instruction.render()}")
+        return "\n".join(lines)

@@ -1,0 +1,326 @@
+"""Synthetic SimpleAlpha benchmark programs.
+
+Programs with the behaviours the paper profiles:
+
+* :func:`value_locality_program` -- a loop nest scanning an array whose
+  contents follow a skewed (few-hot-values) distribution, the load
+  pattern behind value profiling (Zhang et al.'s observation that ~50 %
+  of accesses are dominated by ten values, Section 2);
+* :func:`dispatch_program` -- an interpreter-style dispatch loop with
+  an indirect jump through a handler table, producing the skewed branch
+  edges that edge profiling targets;
+* :func:`mixed_program` -- both behaviours behind a subroutine-call
+  outer loop, for end-to-end examples.
+
+Each generator emits assembler source (also useful for reading) and a
+convenience wrapper assembles it.  Contents are drawn deterministically
+from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from .assembler import assemble
+from .program import Program
+
+
+def skewed_values(count: int, hot_values: Sequence[int],
+                  hot_mass: float, seed: int,
+                  cold_range: int = 1 << 32) -> List[int]:
+    """Array contents: *hot_mass* of entries from *hot_values* (Zipf
+    weighted), the rest uniform over *cold_range*."""
+    if not hot_values:
+        raise ValueError("need at least one hot value")
+    if not 0.0 <= hot_mass <= 1.0:
+        raise ValueError(f"hot_mass must be in [0, 1], got {hot_mass}")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(len(hot_values))]
+    total = sum(weights)
+    cumulative = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    contents = []
+    for _ in range(count):
+        if rng.random() < hot_mass:
+            pick = rng.random()
+            for rank, edge in enumerate(cumulative):
+                if pick <= edge:
+                    contents.append(hot_values[rank])
+                    break
+        else:
+            contents.append(rng.randrange(cold_range))
+    return contents
+
+
+def value_locality_source(array_size: int = 512,
+                          iterations: int = 20,
+                          hot_values: Sequence[int] = (0, 1, 7, 42, 255),
+                          hot_mass: float = 0.7,
+                          seed: int = 1) -> str:
+    """Assembler source for the value-locality scan loop.
+
+    The single load at label ``scan_load`` reads ``array_size *
+    iterations`` values whose distribution is dominated by
+    *hot_values* -- a value profiler should report exactly those.
+    """
+    contents = skewed_values(array_size, hot_values, hot_mass, seed)
+    data_words = ", ".join(str(value) for value in contents)
+    return f"""
+; value-locality scan: {array_size} words x {iterations} passes
+.data arr {data_words}
+main:
+    ldi  r1, arr
+    ldi  r10, {iterations}
+outer:
+    beqz r10, done
+    ldi  r2, 0
+    ldi  r3, {array_size}
+inner:
+    cmplt r5, r2, r3
+    beqz r5, outer_step
+    add  r6, r1, r2
+scan_load:
+    ld   r7, r6, 0          ; the profiled load
+    xor  r8, r8, r7         ; consume the value
+    addi r2, r2, 1
+    br   inner
+outer_step:
+    addi r10, r10, -1
+    br   outer
+done:
+    halt
+"""
+
+
+def value_locality_program(**kwargs) -> Program:
+    """Assembled :func:`value_locality_source`."""
+    return assemble(value_locality_source(**kwargs))
+
+
+def dispatch_source(num_handlers: int = 8,
+                    code_length: int = 256,
+                    iterations: int = 40,
+                    hot_mass: float = 0.8,
+                    seed: int = 2) -> str:
+    """Assembler source for the interpreter-style dispatch loop.
+
+    A "bytecode" array selects one of *num_handlers* handlers through a
+    jump table; handler indices are Zipf-skewed so a few dispatch edges
+    dominate, which is what the edge profiler must find.
+    """
+    if not 2 <= num_handlers <= 32:
+        raise ValueError(f"num_handlers must be in [2, 32], got "
+                         f"{num_handlers}")
+    opcodes = skewed_values(code_length,
+                            hot_values=list(range(num_handlers)),
+                            hot_mass=hot_mass, seed=seed,
+                            cold_range=num_handlers)
+    table = ", ".join(f"handler_{index}" for index in range(num_handlers))
+    code_words = ", ".join(str(opcode) for opcode in opcodes)
+    handlers = "\n".join(
+        f"handler_{index}:\n"
+        f"    addi r4, r4, {index + 1}\n"
+        f"    br   next"
+        for index in range(num_handlers))
+    return f"""
+; dispatch loop: {code_length} ops x {iterations} passes over
+; {num_handlers} handlers
+.data table {table}
+.data codes {code_words}
+main:
+    ldi  r1, codes
+    ldi  r10, {iterations}
+outer:
+    beqz r10, done
+    ldi  r2, 0
+    ldi  r3, {code_length}
+loop:
+    cmplt r5, r2, r3
+    beqz r5, outer_step
+    add  r6, r1, r2
+    ld   r7, r6, 0          ; fetch "bytecode"
+    ldi  r8, table
+    add  r8, r8, r7
+    ld   r9, r8, 0          ; handler address
+dispatch:
+    jr   r9                 ; the profiled indirect edge
+{handlers}
+next:
+    addi r2, r2, 1
+    br   loop
+outer_step:
+    addi r10, r10, -1
+    br   outer
+done:
+    halt
+"""
+
+
+def dispatch_program(**kwargs) -> Program:
+    """Assembled :func:`dispatch_source`."""
+    return assemble(dispatch_source(**kwargs))
+
+
+def mixed_source(array_size: int = 256,
+                 num_handlers: int = 6,
+                 iterations: int = 30,
+                 seed: int = 3) -> str:
+    """A program exercising both behaviours behind CALL/RET.
+
+    The outer loop calls a scan routine (value locality) then a
+    dispatch routine (edge locality) each iteration; used by the
+    end-to-end example that value-profiles and edge-profiles one run.
+    """
+    rng = random.Random(seed)
+    hot_values = [rng.randrange(1, 1000) for _ in range(6)]
+    contents = skewed_values(array_size, hot_values, hot_mass=0.75,
+                             seed=seed + 1)
+    opcodes = skewed_values(array_size,
+                            hot_values=list(range(num_handlers)),
+                            hot_mass=0.8, seed=seed + 2,
+                            cold_range=num_handlers)
+    data_words = ", ".join(str(value) for value in contents)
+    code_words = ", ".join(str(opcode) for opcode in opcodes)
+    table = ", ".join(f"mixed_handler_{index}"
+                      for index in range(num_handlers))
+    handlers = "\n".join(
+        f"mixed_handler_{index}:\n"
+        f"    addi r4, r4, {index + 1}\n"
+        f"    br   dispatch_next"
+        for index in range(num_handlers))
+    return f"""
+; mixed workload: scan + dispatch behind calls, {iterations} iterations
+.data arr {data_words}
+.data codes {code_words}
+.data table {table}
+main:
+    ldi  r10, {iterations}
+main_loop:
+    beqz r10, done
+    call scan
+    call dispatch_routine
+    addi r10, r10, -1
+    br   main_loop
+done:
+    halt
+
+scan:
+    ldi  r1, arr
+    ldi  r2, 0
+    ldi  r3, {array_size}
+scan_loop:
+    cmplt r5, r2, r3
+    beqz r5, scan_done
+    add  r6, r1, r2
+    ld   r7, r6, 0
+    xor  r8, r8, r7
+    addi r2, r2, 1
+    br   scan_loop
+scan_done:
+    ret
+
+dispatch_routine:
+    ldi  r1, codes
+    ldi  r2, 0
+    ldi  r3, {array_size}
+dispatch_loop:
+    cmplt r5, r2, r3
+    beqz r5, dispatch_done
+    add  r6, r1, r2
+    ld   r7, r6, 0
+    ldi  r8, table
+    add  r8, r8, r7
+    ld   r9, r8, 0
+    jr   r9
+{handlers}
+dispatch_next:
+    addi r2, r2, 1
+    br   dispatch_loop
+dispatch_done:
+    ret
+"""
+
+
+def mixed_program(**kwargs) -> Program:
+    """Assembled :func:`mixed_source`."""
+    return assemble(mixed_source(**kwargs))
+
+
+def regional_source(num_regions: int = 4,
+                    iterations: int = 20,
+                    seed: int = 4) -> str:
+    """A multi-region program with data-dependent control flow.
+
+    Each region is a subroutine looping over its own data array of
+    biased 0/1 words; every element drives a conditional branch whose
+    two arms run different ALU mixes.  Regions differ in array length,
+    branch bias, and arithmetic, so the program exhibits distinct
+    per-region value and edge behaviour -- the phase structure the
+    paper's interval profiling is designed to track.
+    """
+    if not 1 <= num_regions <= 16:
+        raise ValueError(f"num_regions must be in [1, 16], got "
+                         f"{num_regions}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    rng = random.Random(seed)
+    data_sections = []
+    routines = []
+    calls = []
+    for region in range(num_regions):
+        length = rng.randrange(24, 96)
+        bias = rng.uniform(0.15, 0.85)
+        bits = [1 if rng.random() < bias else 0 for _ in range(length)]
+        scale = rng.randrange(3, 11)
+        mask = rng.randrange(1, 256)
+        data_sections.append(
+            f".data region_{region}_bits "
+            + ", ".join(str(bit) for bit in bits))
+        calls.append(f"    call region_{region}")
+        routines.append(f"""
+region_{region}:
+    ldi  r1, region_{region}_bits
+    ldi  r2, 0
+    ldi  r3, {length}
+r{region}_loop:
+    cmplt r5, r2, r3
+    beqz r5, r{region}_end
+    add  r6, r1, r2
+    ld   r7, r6, 0
+r{region}_branch:
+    bnez r7, r{region}_then
+    addi r8, r8, {region + 1}
+    br   r{region}_join
+r{region}_then:
+    muli r8, r8, {scale}
+    xori r8, r8, {mask}
+r{region}_join:
+    addi r2, r2, 1
+    br   r{region}_loop
+r{region}_end:
+    ret
+""")
+    newline = "\n"
+    return f"""
+; regional workload: {num_regions} regions x {iterations} iterations
+{newline.join(data_sections)}
+main:
+    ldi  r10, {iterations}
+main_loop:
+    beqz r10, done
+{newline.join(calls)}
+    addi r10, r10, -1
+    br   main_loop
+done:
+    halt
+{newline.join(routines)}
+"""
+
+
+def regional_program(**kwargs) -> Program:
+    """Assembled :func:`regional_source`."""
+    return assemble(regional_source(**kwargs))

@@ -1,0 +1,31 @@
+"""Workload substrate: calibrated benchmark streams and traces."""
+
+from .benchmarks import (BENCHMARK_NAMES, EDGE_TARGETS, VALUE_TARGETS,
+                         all_models, benchmark_generator, benchmark_model,
+                         benchmark_stream, benchmark_targets)
+from .generators import HotBand, StreamModel, TupleStreamGenerator
+from .solver import (BenchmarkTargets, build_model, expected_candidates,
+                     expected_distinct)
+from .traces import Trace, load_trace, record, save_trace
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkTargets",
+    "EDGE_TARGETS",
+    "HotBand",
+    "StreamModel",
+    "Trace",
+    "TupleStreamGenerator",
+    "VALUE_TARGETS",
+    "all_models",
+    "benchmark_generator",
+    "benchmark_model",
+    "benchmark_stream",
+    "benchmark_targets",
+    "build_model",
+    "expected_candidates",
+    "expected_distinct",
+    "load_trace",
+    "record",
+    "save_trace",
+]

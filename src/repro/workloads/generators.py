@@ -1,0 +1,365 @@
+"""Synthetic profiling-event stream generators.
+
+The paper's evaluation is driven by ATOM traces of SPEC and C++
+programs.  Section 5.6.1 identifies what actually determines profiler
+accuracy: (1) the number of distinct tuples per interval, (2) the
+number of candidate tuples over the threshold, and (3) how candidates
+vary between intervals (Figures 4-6).  The generators here synthesize
+streams with exactly those properties under direct control, via four
+tuple populations:
+
+* **hot bands** -- a small set of tuples with per-tuple stream shares
+  laid out on a log scale between configurable bounds.  Bands above the
+  candidate threshold produce the candidates of Figure 5; their share
+  layout fixes how many cross 1 % and 0.1 %.
+* **recurring pool** -- a fixed population sampled uniformly; with
+  draws >> pool size it models a warm working set (sub-threshold but
+  repeating), with draws << pool it adds slowly-revisited noise.
+* **fresh tuples** -- never-repeating tuples (a load PC reading
+  ever-new values), which make the distinct-tuple count grow
+  proportionally with interval length, as the paper observes.
+* **phases** -- the hot set is rotated every ``phase_length`` events
+  with configurable overlap, producing the inter-interval candidate
+  variation of Figure 6; **burstiness** clusters a hot tuple's
+  occurrences into runs, which destabilizes short intervals (the
+  m88ksim/vortex behaviour) without affecting long ones.
+
+Generation is vectorized with numpy and fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..core.tuples import EventKind, ProfileTuple
+
+#: PC-space bases keeping the three populations disjoint.
+HOT_PC_BASE = 0x4_0000_0000
+RECURRING_PC_BASE = 0x5_0000_0000
+FRESH_PC_BASE = 0x6_0000_0000
+
+#: Events generated per vectorized chunk.
+DEFAULT_CHUNK = 1 << 16
+
+
+@dataclass(frozen=True)
+class HotBand:
+    """A band of hot tuples with log-spaced stream shares.
+
+    ``count`` tuples receive shares spaced geometrically from
+    ``top_share`` down to ``bottom_share`` (inclusive).  A band whose
+    bottom share sits just above the candidate threshold contributes
+    exactly ``count`` candidates in expectation.
+    """
+
+    count: int
+    top_share: float
+    bottom_share: float
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"band count must be >= 1, got {self.count}")
+        if not 0 < self.bottom_share <= self.top_share < 1:
+            raise ValueError(
+                f"need 0 < bottom_share <= top_share < 1, got "
+                f"{self.bottom_share} / {self.top_share}")
+
+    def shares(self) -> np.ndarray:
+        """Per-tuple shares, descending."""
+        if self.count == 1:
+            return np.array([self.top_share])
+        return np.geomspace(self.top_share, self.bottom_share, self.count)
+
+    @property
+    def mass(self) -> float:
+        """Total stream share of the band."""
+        return float(self.shares().sum())
+
+
+@dataclass(frozen=True)
+class StreamModel:
+    """Full specification of one benchmark's tuple stream.
+
+    ``recurring_mass`` and the derived fresh mass
+    (``1 - hot - recurring``) partition the non-hot stream.  Phase
+    ``p`` uses hot-tuple identities ``(p * shift + i) mod universe``
+    where ``shift = round(hot_count * (1 - phase_overlap))``, so
+    consecutive phases share ``phase_overlap`` of their hot set and the
+    schedule cycles through ``num_phases`` phases forever.
+    """
+
+    name: str
+    kind: EventKind
+    bands: Tuple[HotBand, ...]
+    recurring_mass: float
+    recurring_pool: int
+    num_phases: int = 1
+    phase_length: int = 1_000_000
+    phase_overlap: float = 0.5
+    burstiness: float = 0.0
+    #: Bursts apply only to the first this-many hot slots (``None`` =
+    #: all).  The solver points this at the candidate bands so the warm
+    #: sub-threshold band keeps Poisson statistics -- burst-clustered
+    #: warm tuples would spuriously cross low thresholds in short
+    #: intervals.
+    bursty_slots: Optional[int] = None
+    fresh_pc_count: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.bands:
+            raise ValueError("at least one hot band is required")
+        if not 0.0 <= self.recurring_mass < 1.0:
+            raise ValueError(f"recurring_mass must be in [0, 1), got "
+                             f"{self.recurring_mass}")
+        if self.recurring_mass > 0 and self.recurring_pool < 1:
+            raise ValueError("recurring_pool must be >= 1 when "
+                             "recurring_mass > 0")
+        if self.fresh_mass < 0:
+            raise ValueError(
+                f"populations overcommit the stream: hot {self.hot_mass:.3f}"
+                f" + recurring {self.recurring_mass:.3f} > 1")
+        if self.num_phases < 1:
+            raise ValueError(f"num_phases must be >= 1, got "
+                             f"{self.num_phases}")
+        if self.phase_length < 1:
+            raise ValueError(f"phase_length must be >= 1, got "
+                             f"{self.phase_length}")
+        if not 0.0 <= self.phase_overlap <= 1.0:
+            raise ValueError(f"phase_overlap must be in [0, 1], got "
+                             f"{self.phase_overlap}")
+        if not 0.0 <= self.burstiness < 1.0:
+            raise ValueError(f"burstiness must be in [0, 1), got "
+                             f"{self.burstiness}")
+
+    @property
+    def hot_shares(self) -> np.ndarray:
+        """Concatenated per-tuple shares of all bands, descending."""
+        return np.concatenate([band.shares() for band in self.bands])
+
+    @property
+    def hot_count(self) -> int:
+        """Hot tuples active in any single phase."""
+        return sum(band.count for band in self.bands)
+
+    @property
+    def hot_mass(self) -> float:
+        """Stream fraction drawn from the hot set."""
+        return float(self.hot_shares.sum())
+
+    @property
+    def fresh_mass(self) -> float:
+        """Stream fraction that is never-repeating tuples."""
+        return 1.0 - self.hot_mass - self.recurring_mass
+
+    def band_rotation(self, band: "HotBand") -> Tuple[int, int]:
+        """Per-phase identity ``(shift, universe)`` for one band.
+
+        Each band rotates independently so that consecutive phases
+        share ``phase_overlap`` of *that band's* tuples -- a candidate
+        stays a candidate across a phase boundary with probability
+        ``phase_overlap`` regardless of how large the sub-threshold
+        bands are.
+        """
+        if self.num_phases == 1:
+            return 0, band.count
+        shift = max(1, round(band.count * (1.0 - self.phase_overlap)))
+        return shift, max(band.count + 1, shift * self.num_phases)
+
+    @property
+    def hot_universe(self) -> int:
+        """Total distinct hot identities across the phase cycle."""
+        return sum(self.band_rotation(band)[1] for band in self.bands)
+
+    def candidates_at(self, threshold: float) -> int:
+        """Expected candidates per interval at *threshold* (a fraction)."""
+        return int((self.hot_shares >= threshold).sum())
+
+
+def _build_phase_identities(model: StreamModel) -> np.ndarray:
+    """Slot -> global identity per phase, rotating bands independently.
+
+    Band ``b`` occupies its own identity range; within it, phase ``p``
+    maps the band's slots to ``(p * shift_b + i) mod universe_b``.
+    """
+    table = np.empty((model.num_phases, model.hot_count), dtype=np.int64)
+    slot_base = 0
+    identity_base = 0
+    for band in model.bands:
+        shift, universe = model.band_rotation(band)
+        offsets = np.arange(band.count, dtype=np.int64)
+        for phase in range(model.num_phases):
+            table[phase, slot_base:slot_base + band.count] = (
+                identity_base + (phase * shift + offsets) % universe)
+        slot_base += band.count
+        identity_base += universe
+    return table
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer, vectorized (derives tuple values from ids)."""
+    x = values.astype(np.uint64)
+    x = (x + np.uint64(0x9E3779B97F4A7C15))
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+class TupleStreamGenerator:
+    """Deterministic event-stream generator for one :class:`StreamModel`.
+
+    The generator is stateful (absolute stream position, fresh-tuple
+    counter, burst carry-over) so repeated :meth:`chunk` calls produce
+    one continuous stream.  Two generators built from the same model
+    and seed produce identical streams.
+    """
+
+    def __init__(self, model: StreamModel, seed: int | None = None) -> None:
+        self.model = model
+        self.seed = model.seed if seed is None else seed
+        self._rng = np.random.default_rng(self.seed)
+        shares = model.hot_shares
+        self._hot_probabilities = shares / shares.sum()
+        self._hot_mass = model.hot_mass
+        self._recurring_mass = model.recurring_mass
+        self._position = 0
+        self._fresh_counter = 0
+        self._burst_carry: int | None = None
+        # Per-phase slot -> identity map, rotating each band
+        # independently (see StreamModel.band_rotation).
+        self._phase_identities = _build_phase_identities(model)
+        # Hot identity -> (pc, value).  Several hot values share a PC
+        # (a hot load PC usually has a handful of hot values), so the
+        # PC space is a quarter of the identity space.
+        universe = model.hot_universe
+        identities = np.arange(universe, dtype=np.uint64)
+        pc_modulus = max(1, universe // 4)
+        self._hot_pcs = (np.uint64(HOT_PC_BASE)
+                         + np.uint64(8) * (identities % np.uint64(pc_modulus)))
+        self._hot_values = _mix64(identities)
+
+    def reset(self) -> None:
+        """Rewind to the start of the stream."""
+        self._rng = np.random.default_rng(self.seed)
+        self._position = 0
+        self._fresh_counter = 0
+        self._burst_carry = None
+
+    def chunk(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate the next *count* events as ``(pcs, values)`` arrays."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        model = self.model
+        rng = self._rng
+        pcs = np.empty(count, dtype=np.uint64)
+        values = np.empty(count, dtype=np.uint64)
+
+        u = rng.random(count)
+        hot_mask = u < self._hot_mass
+        recurring_mask = (~hot_mask
+                          & (u < self._hot_mass + self._recurring_mass))
+        fresh_mask = ~hot_mask & ~recurring_mask
+
+        self._fill_hot(pcs, values, hot_mask)
+        self._fill_recurring(pcs, values, recurring_mask)
+        self._fill_fresh(pcs, values, fresh_mask)
+
+        self._position += count
+        return pcs, values
+
+    def _fill_hot(self, pcs: np.ndarray, values: np.ndarray,
+                  mask: np.ndarray) -> None:
+        count = int(mask.sum())
+        if not count:
+            return
+        model = self.model
+        rng = self._rng
+        slots = rng.choice(len(self._hot_probabilities), size=count,
+                           p=self._hot_probabilities)
+        if model.burstiness > 0.0:
+            slots = self._apply_bursts(slots)
+        if model.num_phases > 1:
+            positions = self._position + np.nonzero(mask)[0]
+            phases = (positions // model.phase_length) % model.num_phases
+            identities = self._phase_identities[phases, slots]
+        else:
+            identities = self._phase_identities[0, slots]
+        pcs[mask] = self._hot_pcs[identities]
+        values[mask] = self._hot_values[identities]
+
+    def _apply_bursts(self, slots: np.ndarray) -> np.ndarray:
+        """Cluster hot draws into geometric runs (carrying across chunks).
+
+        Only slots below the model's ``bursty_slots`` limit are
+        clustered; draws above it (the warm band) pass through with
+        their original independent statistics.
+        """
+        rng = self._rng
+        repeat = rng.random(len(slots)) < self.model.burstiness
+        if self._burst_carry is None:
+            repeat[0] = False
+        elif repeat[0]:
+            slots[0] = self._burst_carry
+            repeat[0] = False
+        source = np.where(repeat, 0, np.arange(len(slots)))
+        np.maximum.accumulate(source, out=source)
+        clustered = slots[source]
+        limit = self.model.bursty_slots
+        if limit is not None:
+            # A warm draw keeps its independent value, and a run led by
+            # a warm tuple must not replicate it -- either way the
+            # position falls back to its own iid draw.
+            exempt = (slots >= limit) | (clustered >= limit)
+            clustered = np.where(exempt, slots, clustered)
+        self._burst_carry = int(clustered[-1])
+        return clustered
+
+    def _fill_recurring(self, pcs: np.ndarray, values: np.ndarray,
+                        mask: np.ndarray) -> None:
+        count = int(mask.sum())
+        if not count:
+            return
+        identities = self._rng.integers(self.model.recurring_pool,
+                                        size=count).astype(np.uint64)
+        pcs[mask] = np.uint64(RECURRING_PC_BASE) + np.uint64(8) * identities
+        values[mask] = _mix64(identities + np.uint64(1 << 32))
+
+    def _fill_fresh(self, pcs: np.ndarray, values: np.ndarray,
+                    mask: np.ndarray) -> None:
+        count = int(mask.sum())
+        if not count:
+            return
+        model = self.model
+        pc_choice = self._rng.integers(model.fresh_pc_count,
+                                       size=count).astype(np.uint64)
+        pcs[mask] = np.uint64(FRESH_PC_BASE) + np.uint64(8) * pc_choice
+        # Unique values, but well mixed: raw sequential counters would
+        # make every fresh tuple differ only in its low byte, which the
+        # paper's per-byte randomize hash maps onto a tiny orbit of
+        # table indices -- an artifact of the synthetic encoding, not
+        # of real fresh values (pointers, hashes, varying data).
+        ordinals = (np.uint64(self._fresh_counter)
+                    + np.arange(count, dtype=np.uint64))
+        values[mask] = _mix64(ordinals + np.uint64(1 << 33))
+        self._fresh_counter += count
+
+    def events(self, count: int,
+               chunk_size: int = DEFAULT_CHUNK) -> Iterator[ProfileTuple]:
+        """Yield the next *count* events as Python ``(pc, value)`` tuples."""
+        remaining = count
+        while remaining > 0:
+            size = min(remaining, chunk_size)
+            pcs, values = self.chunk(size)
+            yield from zip(pcs.tolist(), values.tolist())
+            remaining -= size
+
+    def intervals(self, interval_length: int,
+                  num_intervals: int) -> Iterator[ProfileTuple]:
+        """Yield exactly ``interval_length * num_intervals`` events."""
+        return self.events(interval_length * num_intervals)

@@ -1,0 +1,282 @@
+"""Solve benchmark targets into stream-model parameters.
+
+The paper characterizes each workload by three observable statistics
+(Section 5.6.1, Figures 4-5): distinct tuples per interval, candidates
+over the 1 % threshold, and candidates over the 0.1 % threshold.  This
+module turns those targets -- plus qualitative character (phases,
+burstiness) -- into a concrete :class:`~repro.workloads.generators.StreamModel`:
+
+* the 1 % candidates become a *strong* hot band with shares log-spaced
+  down to just above 1 %;
+* the remaining 0.1 % candidates become a *weak* band just above 0.1 %;
+* the distinct-tuple budget left after the hot set is split between a
+  saturated recurring pool (repeating, sub-threshold tuples) and fresh
+  never-repeating tuples, with masses chosen so the expected distinct
+  count at the 10 K reference interval hits the target.
+
+The construction is checked for feasibility: you cannot ask for more
+distinct tuples per interval than the non-hot event budget can supply.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.tuples import EventKind
+from .generators import HotBand, StreamModel
+
+#: Reference interval length the distinct-tuple target refers to
+#: (Figure 4's 10 K configuration).
+REFERENCE_INTERVAL = 10_000
+
+#: Strong band sits just above the 1 % threshold.
+STRONG_THRESHOLD = 0.01
+#: Weak band sits just above the 0.1 % threshold.
+WEAK_THRESHOLD = 0.001
+
+#: Safety margins: band bottoms sit 7 % above their threshold so the
+#: expected candidate count survives per-interval sampling noise.
+_BOTTOM_MARGIN = 1.07
+#: The weak band spans [1.07, 2.0] x the 0.1 % threshold.
+_WEAK_TOP_FACTOR = 2.0
+#: The mid band spans from just under the 1 % threshold down to 2.4 x
+#: the 0.1 % threshold -- the frequency continuum between the two
+#: thresholds that real programs exhibit.  Mid tuples are what alias
+#: into false positives at short intervals (two tuples at ~0.5 % each
+#: sharing a counter cross the 1 % threshold together).
+_MID_TOP_FACTOR = 0.93
+_MID_BOTTOM = 2.4 * WEAK_THRESHOLD
+
+#: Warm-band ceiling: the hottest sub-threshold noise tuple stays at
+#: 55 % of the 0.1 % threshold, so warm tuples essentially never cross
+#: a candidate threshold at any interval length (the Poisson tail at a
+#: 10 K interval is the only residual crossing, as in real programs).
+WARM_CAP = 0.55 * WEAK_THRESHOLD
+
+#: Warm-band share spread (top / bottom ratio).
+_WARM_SPREAD = 16.0
+
+
+@dataclass(frozen=True)
+class BenchmarkTargets:
+    """Observable statistics + character for one benchmark model.
+
+    Attributes
+    ----------
+    distinct_10k:
+        Target distinct tuples in a 10,000-event interval (Figure 4).
+    candidates_1pct / candidates_01pct:
+        Target candidates over 1 % and over 0.1 % (Figure 5); the
+        latter includes the former.
+    strong_top_share:
+        Share of the hottest tuple (how skewed the top of the
+        distribution is; li-like programs are very skewed).
+    mid_fraction:
+        Fraction of the 0.1 %-only candidates placed in the *mid* band
+        spanning the continuum between the two thresholds (the rest sit
+        just above 0.1 %).  Mid tuples drive short-interval false
+        positives through pairwise aliasing.
+    recurring_fraction:
+        Fraction of the non-hot distinct budget served by the
+        recurring pool rather than fresh tuples.
+    num_phases / phase_length / phase_overlap / burstiness:
+        Temporal character, driving Figure 6 behaviour.
+    """
+
+    name: str
+    distinct_10k: int
+    candidates_1pct: int
+    candidates_01pct: int
+    strong_top_share: float = 0.022
+    mid_fraction: float = 0.25
+    recurring_fraction: float = 0.35
+    num_phases: int = 4
+    phase_length: int = 1_000_000
+    phase_overlap: float = 0.5
+    burstiness: float = 0.25
+    fresh_pc_count: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.candidates_1pct < 1:
+            raise ValueError(f"{self.name}: need at least one 1% candidate")
+        if self.candidates_01pct < self.candidates_1pct:
+            raise ValueError(
+                f"{self.name}: candidates_01pct ({self.candidates_01pct}) "
+                f"must include candidates_1pct ({self.candidates_1pct})")
+        if self.distinct_10k <= self.candidates_01pct:
+            raise ValueError(
+                f"{self.name}: distinct_10k ({self.distinct_10k}) must "
+                f"exceed the candidate count ({self.candidates_01pct})")
+        if not 0.0 <= self.recurring_fraction < 1.0:
+            raise ValueError(
+                f"{self.name}: recurring_fraction must be in [0, 1), got "
+                f"{self.recurring_fraction}")
+        if not 0.0 <= self.mid_fraction <= 1.0:
+            raise ValueError(
+                f"{self.name}: mid_fraction must be in [0, 1], got "
+                f"{self.mid_fraction}")
+
+
+def build_model(targets: BenchmarkTargets,
+                kind: EventKind = EventKind.VALUE) -> StreamModel:
+    """Construct the stream model meeting *targets*.
+
+    Raises :class:`ValueError` when the targets are infeasible (the hot
+    mass implied by the candidate counts leaves too few events per
+    reference interval to reach the distinct-tuple target).
+    """
+    bands = _hot_bands(targets)
+    hot_mass = sum(band.mass for band in bands)
+    hot_count = sum(band.count for band in bands)
+    noise_mass = 1.0 - hot_mass
+    noise_distinct = targets.distinct_10k - hot_count
+    noise_events = noise_mass * REFERENCE_INTERVAL
+    if noise_events < 1.02 * noise_distinct:
+        raise ValueError(
+            f"{targets.name}: infeasible targets -- the candidate "
+            f"structure implies hot mass {hot_mass:.3f}, leaving "
+            f"{noise_events:.0f} noise events per {REFERENCE_INTERVAL} "
+            f"but {noise_distinct} distinct noise tuples are required")
+
+    warm_band = _solve_warm_band(targets.name, noise_mass,
+                                 noise_distinct,
+                                 targets.recurring_fraction)
+    bursty_slots = None
+    if warm_band is not None:
+        bursty_slots = sum(band.count for band in bands)
+        bands = bands + (warm_band,)
+
+    return StreamModel(
+        name=targets.name,
+        kind=kind,
+        bands=bands,
+        recurring_mass=0.0,
+        recurring_pool=1,
+        bursty_slots=bursty_slots,
+        num_phases=targets.num_phases,
+        phase_length=targets.phase_length,
+        phase_overlap=targets.phase_overlap,
+        burstiness=targets.burstiness,
+        fresh_pc_count=targets.fresh_pc_count,
+        seed=targets.seed,
+    )
+
+
+def _hot_bands(targets: BenchmarkTargets) -> Tuple[HotBand, ...]:
+    """Strong band over 1 %, mid band spanning the threshold gap, weak
+    band just over 0.1 %."""
+    strong_bottom = _BOTTOM_MARGIN * STRONG_THRESHOLD
+    strong_top = max(targets.strong_top_share, strong_bottom)
+    bands = [HotBand(count=targets.candidates_1pct,
+                     top_share=strong_top,
+                     bottom_share=strong_bottom)]
+    gap_count = targets.candidates_01pct - targets.candidates_1pct
+    mid_count = round(targets.mid_fraction * gap_count)
+    weak_count = gap_count - mid_count
+    if mid_count > 0:
+        bands.append(HotBand(count=mid_count,
+                             top_share=_MID_TOP_FACTOR * STRONG_THRESHOLD,
+                             bottom_share=_MID_BOTTOM))
+    if weak_count > 0:
+        bands.append(HotBand(count=weak_count,
+                             top_share=_WEAK_TOP_FACTOR * WEAK_THRESHOLD,
+                             bottom_share=_BOTTOM_MARGIN * WEAK_THRESHOLD))
+    return tuple(bands)
+
+
+def _solve_warm_band(name: str, noise_mass: float, noise_distinct: int,
+                     recurring_fraction: float) -> HotBand:
+    """Fit the warm (recurring, sub-threshold) band.
+
+    The non-candidate stream splits into *fresh* tuples (never repeat;
+    ``recurring_fraction`` of the distinct budget is withheld from
+    them) and a *warm band* of recurring tuples whose log-spaced shares
+    top out at :data:`WARM_CAP`.  Given the warm band's mass and
+    distinct budgets, the band's placement (top share) and width
+    (tuple count) are solved by bisection on the predicted distinct
+    count at the reference interval.
+
+    Returns ``None`` when the targets leave no warm band (all noise is
+    fresh).  Raises :class:`ValueError` when the warm mass per distinct
+    tuple is too high to stay under the cap -- the fix is more hot
+    (candidate) mass or a larger distinct target.
+    """
+    warm_distinct = recurring_fraction * noise_distinct
+    fresh_mass = (noise_distinct - warm_distinct) / REFERENCE_INTERVAL
+    warm_mass = noise_mass - fresh_mass
+    if warm_distinct < 1.0 or warm_mass <= 0.0:
+        return None
+
+    def predicted_distinct(top_share: float, spread: float) -> float:
+        shares = _warm_shares(top_share, warm_mass, spread)
+        return float((1.0 - np.exp(-shares * REFERENCE_INTERVAL)).sum())
+
+    floor = 1e-8
+    # A wide band is preferred (smoother share continuum); when the
+    # warm mass per distinct tuple is high, narrow the band toward the
+    # cap so each tuple can absorb more occurrences while staying
+    # sub-threshold.
+    spread = _WARM_SPREAD
+    while (predicted_distinct(WARM_CAP, spread) > warm_distinct
+           and spread > 1.05):
+        spread = max(1.05, spread / 2.0)
+    if predicted_distinct(WARM_CAP, spread) > warm_distinct:
+        needed = warm_mass * REFERENCE_INTERVAL / warm_distinct
+        raise ValueError(
+            f"{name}: warm noise needs ~{needed:.1f} occurrences per "
+            f"distinct tuple at the reference interval, which exceeds "
+            f"the sub-threshold cap; raise the candidate mass "
+            f"(strong_top_share / mid_fraction), the "
+            f"recurring_fraction, or the distinct_10k target")
+    if predicted_distinct(floor, spread) < warm_distinct:
+        raise ValueError(
+            f"{name}: not enough warm mass ({warm_mass:.3f}) to "
+            f"produce {warm_distinct:.0f} distinct recurring tuples")
+    low, high = floor, WARM_CAP
+    for _ in range(60):
+        middle = math.sqrt(low * high)
+        if predicted_distinct(middle, spread) > warm_distinct:
+            low = middle
+        else:
+            high = middle
+    top_share = high
+    count = len(_warm_shares(top_share, warm_mass, spread))
+    return HotBand(count=count, top_share=top_share,
+                   bottom_share=top_share / spread)
+
+
+def _warm_shares(top_share: float, warm_mass: float,
+                 spread: float) -> np.ndarray:
+    """Log-spaced warm shares of total mass *warm_mass* under
+    *top_share*."""
+    mean_share = (top_share * (1.0 - 1.0 / spread) / math.log(spread))
+    count = max(1, round(warm_mass / mean_share))
+    return np.geomspace(top_share, top_share / spread, count)
+
+
+def expected_distinct(model: StreamModel, interval_length: int) -> float:
+    """Expected distinct tuples in one interval (calibration check).
+
+    Hot tuples count when at least one occurrence is expected
+    (``1 - exp(-share * L)`` each); the recurring pool contributes the
+    classic occupancy expectation; fresh tuples are all distinct.
+    """
+    shares = model.hot_shares
+    hot = float((1.0 - np.exp(-shares * interval_length)).sum())
+    recurring = 0.0
+    if model.recurring_mass > 0 and model.recurring_pool > 0:
+        draws = model.recurring_mass * interval_length
+        pool = model.recurring_pool
+        recurring = pool * (1.0 - math.exp(-draws / pool))
+    fresh = model.fresh_mass * interval_length
+    return hot + recurring + fresh
+
+
+def expected_candidates(model: StreamModel, threshold: float) -> int:
+    """Expected candidate-tuple count at *threshold* (Figure 5 check)."""
+    return model.candidates_at(threshold)

@@ -1,0 +1,93 @@
+"""Trace record and replay.
+
+The paper profiles fixed 500 M-instruction ATOM traces, so every
+profiler configuration sees the *same* event stream.  Our generators
+are deterministic per seed, which gives the same property, but traces
+are still useful: simulator runs (:mod:`repro.simulator`) are much
+slower than statistical generation, so their event streams are recorded
+once and replayed into every profiler configuration.
+
+Format: numpy ``.npz`` with two ``uint64`` arrays (``pcs``, ``values``)
+plus a metadata array carrying the event kind and source name.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+from ..core.tuples import EventKind, ProfileTuple
+
+
+@dataclass
+class Trace:
+    """An in-memory event trace: parallel PC/value arrays plus metadata."""
+
+    pcs: np.ndarray
+    values: np.ndarray
+    kind: EventKind = EventKind.VALUE
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pcs.shape != self.values.shape:
+            raise ValueError(
+                f"pcs and values must have the same shape, got "
+                f"{self.pcs.shape} vs {self.values.shape}")
+        if self.pcs.ndim != 1:
+            raise ValueError(f"trace arrays must be 1-D, got "
+                             f"{self.pcs.ndim} dimensions")
+        self.pcs = self.pcs.astype(np.uint64, copy=False)
+        self.values = self.values.astype(np.uint64, copy=False)
+
+    def __len__(self) -> int:
+        return int(self.pcs.shape[0])
+
+    def events(self) -> Iterator[ProfileTuple]:
+        """Replay the trace as Python tuples."""
+        return iter(zip(self.pcs.tolist(), self.values.tolist()))
+
+    def __iter__(self) -> Iterator[ProfileTuple]:
+        return self.events()
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace (for fast-forward / interval-window studies)."""
+        return Trace(pcs=self.pcs[start:stop],
+                     values=self.values[start:stop],
+                     kind=self.kind, source=self.source)
+
+
+def record(events: Iterable[ProfileTuple],
+           kind: EventKind = EventKind.VALUE,
+           source: str = "") -> Trace:
+    """Materialize an event stream into a trace."""
+    pcs: List[int] = []
+    values: List[int] = []
+    for pc, value in events:
+        pcs.append(pc)
+        values.append(value)
+    return Trace(pcs=np.array(pcs, dtype=np.uint64),
+                 values=np.array(values, dtype=np.uint64),
+                 kind=kind, source=source)
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write *trace* to an ``.npz`` file (parent directory must exist)."""
+    np.savez_compressed(path,
+                        pcs=trace.pcs,
+                        values=trace.values,
+                        kind=np.array([trace.kind.value]),
+                        source=np.array([trace.source]))
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no trace file at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        return Trace(pcs=data["pcs"],
+                     values=data["values"],
+                     kind=EventKind(str(data["kind"][0])),
+                     source=str(data["source"][0]))

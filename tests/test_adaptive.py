@@ -1,0 +1,85 @@
+"""Tests for adaptive interval selection (repro.profiling.adaptive)."""
+
+import pytest
+
+from repro.core.tuples import EventKind
+from repro.profiling.adaptive import select_interval_length
+from repro.workloads.benchmarks import benchmark_generator
+from repro.workloads.generators import (HotBand, StreamModel,
+                                        TupleStreamGenerator)
+
+
+def phased_generator(phase_length: int) -> TupleStreamGenerator:
+    model = StreamModel(
+        name="phased", kind=EventKind.VALUE,
+        bands=(HotBand(count=12, top_share=0.06, bottom_share=0.02),),
+        recurring_mass=0.1, recurring_pool=50,
+        num_phases=4, phase_length=phase_length, phase_overlap=0.0,
+        seed=21)
+    return TupleStreamGenerator(model)
+
+
+class TestSelection:
+    def test_returns_probed_length(self):
+        generator = phased_generator(phase_length=50_000)
+        choice = select_interval_length(generator, [2_000, 10_000],
+                                        threshold=0.01,
+                                        intervals_per_length=4)
+        assert choice.selected in (2_000, 10_000)
+        assert set(choice.mean_variation) == {2_000, 10_000}
+
+    def test_coarse_phases_prefer_short_intervals(self):
+        # Phase changes every 20K events: 10K intervals cross a
+        # boundary every other interval (unstable), 2K intervals only
+        # every tenth (stable) -> short wins.
+        generator = phased_generator(phase_length=20_000)
+        choice = select_interval_length(generator, [2_000, 10_000],
+                                        threshold=0.01,
+                                        intervals_per_length=8,
+                                        tolerance=2.0)
+        assert choice.selected == 2_000
+        assert choice.variation_of(2_000) < choice.variation_of(10_000)
+
+    def test_ties_break_toward_responsiveness(self):
+        # No phases at all: every length is equally stable, so the
+        # shortest (most responsive) is chosen.
+        generator = phased_generator(phase_length=10 ** 9)
+        choice = select_interval_length(generator, [10_000, 2_000],
+                                        threshold=0.01,
+                                        intervals_per_length=4)
+        assert choice.selected == 2_000
+
+    def test_generator_rewound_after_selection(self):
+        generator = phased_generator(phase_length=50_000)
+        select_interval_length(generator, [2_000], threshold=0.01,
+                               intervals_per_length=2)
+        assert generator._position == 0
+
+    def test_rejects_bad_arguments(self):
+        generator = phased_generator(phase_length=50_000)
+        with pytest.raises(ValueError):
+            select_interval_length(generator, [])
+        with pytest.raises(ValueError):
+            select_interval_length(generator, [1_000],
+                                   intervals_per_length=1)
+
+
+class TestOnBenchmarks:
+    def test_m88ksim_unstable_at_short_intervals(self):
+        """Bursty m88ksim needs long intervals to see its candidates
+        consistently (Figure 6's top-panel behaviour)."""
+        m88 = select_interval_length(benchmark_generator("m88ksim"),
+                                     [10_000, 100_000],
+                                     intervals_per_length=6,
+                                     tolerance=2.0)
+        assert m88.variation_of(10_000) > m88.variation_of(100_000)
+
+    def test_deltablue_unstable_at_phase_scale_intervals(self):
+        """Coarse-phased deltablue destabilizes once intervals approach
+        its phase length (Figure 6's bottom-panel behaviour)."""
+        deltablue = select_interval_length(
+            benchmark_generator("deltablue"), [100_000, 1_000_000],
+            intervals_per_length=4, tolerance=2.0)
+        assert deltablue.variation_of(1_000_000) > \
+            deltablue.variation_of(100_000)
+        assert deltablue.selected == 100_000

@@ -1,0 +1,111 @@
+"""Tests for profile aggregation (repro.metrics.aggregate)."""
+
+import pytest
+
+from repro.core.base import IntervalProfile
+from repro.metrics.aggregate import merge_profiles, stability, top_tuples
+
+
+def profile(index, candidates):
+    return IntervalProfile(index=index, candidates=candidates,
+                           events_observed=1_000)
+
+
+class TestMerge:
+    def test_plain_sum(self):
+        merged = merge_profiles([
+            profile(0, {(1, 1): 10, (2, 2): 5}),
+            profile(1, {(1, 1): 20}),
+        ])
+        assert merged == {(1, 1): 30.0, (2, 2): 5.0}
+
+    def test_decay_discounts_older_intervals(self):
+        merged = merge_profiles([
+            profile(0, {(1, 1): 100}),
+            profile(1, {(2, 2): 100}),
+        ], decay=0.5)
+        assert merged[(2, 2)] == pytest.approx(100.0)
+        assert merged[(1, 1)] == pytest.approx(50.0)
+
+    def test_decay_by_interval_index_not_position(self):
+        merged = merge_profiles([
+            profile(5, {(2, 2): 100}),
+            profile(3, {(1, 1): 100}),  # two intervals older
+        ], decay=0.5)
+        assert merged[(1, 1)] == pytest.approx(25.0)
+
+    def test_empty(self):
+        assert merge_profiles([]) == {}
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            merge_profiles([], decay=0.0)
+        with pytest.raises(ValueError):
+            merge_profiles([], decay=1.5)
+
+
+class TestTopTuples:
+    def test_descending_order_and_limit(self):
+        ranked = top_tuples({(1, 1): 5.0, (2, 2): 9.0, (3, 3): 1.0},
+                            count=2)
+        assert ranked == [((2, 2), 9.0), ((1, 1), 5.0)]
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            top_tuples({}, count=0)
+
+
+class TestStability:
+    PROFILES = [
+        profile(0, {(1, 1): 10, (2, 2): 10}),
+        profile(1, {(1, 1): 12}),
+        profile(2, {(1, 1): 11, (2, 2): 9}),
+        profile(3, {(1, 1): 13}),
+    ]
+
+    def test_persistence_fractions(self):
+        report = stability(self.PROFILES)
+        assert report.persistence_of((1, 1)) == 1.0
+        assert report.persistence_of((2, 2)) == 0.5
+        assert report.persistence_of((9, 9)) == 0.0
+
+    def test_stable_set_threshold(self):
+        assert stability(self.PROFILES,
+                         min_persistence=0.75).stable == ((1, 1),)
+        both = stability(self.PROFILES, min_persistence=0.5).stable
+        assert set(both) == {(1, 1), (2, 2)}
+        assert both[0] == (1, 1)  # most persistent first
+
+    def test_empty_window(self):
+        report = stability([])
+        assert report.intervals == 0
+        assert report.stable == ()
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            stability(self.PROFILES, min_persistence=0.0)
+
+
+class TestEndToEnd:
+    def test_aggregated_plan_is_more_stable_than_single_interval(self):
+        """Aggregating a window before planning keeps only tuples that
+        persist across phases."""
+        from repro.core.config import IntervalSpec, best_multi_hash
+        from repro.profiling.session import ProfilingSession
+        from repro.workloads.benchmarks import benchmark_generator
+
+        spec = IntervalSpec(10_000, 0.01)
+        session = ProfilingSession(best_multi_hash(spec),
+                                   keep_profiles=True)
+        result = session.run(benchmark_generator("m88ksim"),
+                             max_intervals=12)
+        profiles = result.single().profiles
+        report = stability(profiles, min_persistence=0.9)
+        # m88ksim is bursty: some per-interval candidates do not
+        # persist, and the stable core is non-empty but smaller than
+        # any single interval's candidate list.
+        assert 0 < len(report.stable) <= max(
+            len(profile) for profile in profiles)
+        union = {event for profile in profiles
+                 for event in profile.candidates}
+        assert len(report.stable) < len(union)

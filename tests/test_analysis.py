@@ -1,0 +1,92 @@
+"""Tests for stream statistics (repro.workloads.analysis)."""
+
+import pytest
+
+from repro.core.tuples import EventKind
+from repro.workloads.analysis import (candidate_variation,
+                                      interval_statistics,
+                                      variation_profile)
+from repro.workloads.generators import (HotBand, StreamModel,
+                                        TupleStreamGenerator)
+
+
+def generator(**overrides) -> TupleStreamGenerator:
+    base = dict(
+        name="analysis-test", kind=EventKind.VALUE,
+        bands=(HotBand(count=8, top_share=0.06, bottom_share=0.02),),
+        recurring_mass=0.3, recurring_pool=50, seed=11,
+    )
+    base.update(overrides)
+    return TupleStreamGenerator(StreamModel(**base))
+
+
+class TestIntervalStatistics:
+    def test_counts_expected_intervals(self):
+        statistics = interval_statistics(generator(), 1_000, 5,
+                                         thresholds=(0.01,))
+        assert statistics.num_intervals == 5
+        assert len(statistics.distinct) == 5
+
+    def test_distinct_counts_positive_and_bounded(self):
+        statistics = interval_statistics(generator(), 1_000, 3,
+                                         thresholds=())
+        for distinct in statistics.distinct:
+            assert 8 <= distinct <= 1_000
+
+    def test_candidates_counted_per_threshold(self):
+        statistics = interval_statistics(generator(), 1_000, 4,
+                                         thresholds=(0.02, 0.001))
+        # All 8 hot tuples sit at >= 2% of the stream.
+        assert statistics.mean_candidates(0.02) >= 6
+        assert (statistics.mean_candidates(0.001)
+                >= statistics.mean_candidates(0.02))
+
+    def test_candidate_sets_align_with_counts(self):
+        statistics = interval_statistics(generator(), 1_000, 3,
+                                         thresholds=(0.02,))
+        for count, members in zip(statistics.candidate_counts[0.02],
+                                  statistics.candidate_sets[0.02]):
+            assert count == len(members)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            interval_statistics(generator(), 0, 3)
+        with pytest.raises(ValueError):
+            interval_statistics(generator(), 100, 0)
+
+
+class TestCandidateVariation:
+    def test_identical_sets_zero_variation(self):
+        sets = [{(1, 1), (2, 2)}, {(1, 1), (2, 2)}]
+        assert candidate_variation(sets) == [0.0]
+
+    def test_disjoint_sets_full_variation(self):
+        sets = [{(1, 1)}, {(2, 2)}]
+        assert candidate_variation(sets) == [100.0]
+
+    def test_half_turnover(self):
+        sets = [{(1, 1), (2, 2)}, {(2, 2), (3, 3)}]
+        (variation,) = candidate_variation(sets)
+        assert variation == pytest.approx(100 * 2 / 3)
+
+    def test_empty_pair_counts_as_stable(self):
+        assert candidate_variation([set(), set()]) == [0.0]
+
+    def test_needs_two_intervals(self):
+        assert candidate_variation([{(1, 1)}]) == []
+
+
+class TestVariationProfile:
+    def test_quantiles_monotone(self):
+        variations = [5.0, 10.0, 50.0, 90.0, 100.0]
+        profile = variation_profile(variations, (0.1, 0.5, 0.9))
+        assert profile[0.1] <= profile[0.5] <= profile[0.9]
+
+    def test_empty_series(self):
+        profile = variation_profile([], (0.5,))
+        assert profile == {0.5: 0.0}
+
+    def test_matches_sorted_positions(self):
+        variations = [30.0, 10.0, 20.0]
+        profile = variation_profile(variations, (0.5,))
+        assert profile[0.5] == 20.0

@@ -1,0 +1,65 @@
+"""Tests for the Section 7 area model (repro.core.area)."""
+
+import pytest
+
+from repro.core.area import (accumulator_bytes, hash_table_bytes,
+                             profiler_area, stratified_area)
+from repro.core.config import LONG_INTERVAL, SHORT_INTERVAL, ProfilerConfig
+from repro.core.stratified import StratifiedConfig
+
+
+class TestPaperNumbers:
+    def test_hash_table_is_six_kilobytes(self):
+        # "2K entries of 3 byte counters" -> 6144 bytes.
+        assert hash_table_bytes(ProfilerConfig()) == 6144
+
+    def test_accumulator_one_kb_at_one_percent(self):
+        # 100 entries x 10 bytes.
+        assert accumulator_bytes(ProfilerConfig()) == 1000
+
+    def test_accumulator_ten_kb_at_point_one_percent(self):
+        config = ProfilerConfig(interval=LONG_INTERVAL)
+        assert accumulator_bytes(config) == 10_000
+
+    def test_total_seven_to_sixteen_kilobytes(self):
+        short = profiler_area(ProfilerConfig(interval=SHORT_INTERVAL))
+        long = profiler_area(ProfilerConfig(interval=LONG_INTERVAL))
+        assert 6.5 < short.total_kilobytes < 7.5
+        assert 15.0 < long.total_kilobytes < 16.5
+
+
+class TestInvariance:
+    def test_splitting_tables_does_not_change_area(self):
+        areas = {profiler_area(ProfilerConfig(
+            num_tables=tables,
+            conservative_update=tables > 1)).total_bytes
+            for tables in (1, 2, 4, 8, 16)}
+        assert len(areas) == 1
+
+    def test_area_scales_with_counter_width(self):
+        narrow = hash_table_bytes(ProfilerConfig(counter_bits=16))
+        wide = hash_table_bytes(ProfilerConfig(counter_bits=32))
+        assert wide == 2 * narrow
+
+    def test_report_dict_consistent(self):
+        report = profiler_area(ProfilerConfig())
+        data = report.as_dict()
+        assert data["total_bytes"] == (data["hash_table_bytes"]
+                                       + data["accumulator_bytes"])
+
+
+class TestStratifiedArea:
+    def test_baseline_carries_tag_overhead(self):
+        stratified = stratified_area(
+            StratifiedConfig(interval=SHORT_INTERVAL))
+        multi_hash = profiler_area(
+            ProfilerConfig(interval=SHORT_INTERVAL))
+        # Same 2K counters, but tags + miss counters cost more.
+        assert stratified.hash_table_bytes > multi_hash.hash_table_bytes
+
+    def test_buffer_counted(self):
+        small = stratified_area(StratifiedConfig(
+            interval=SHORT_INTERVAL, buffer_entries=10))
+        large = stratified_area(StratifiedConfig(
+            interval=SHORT_INTERVAL, buffer_entries=100))
+        assert large.accumulator_bytes > small.accumulator_bytes

@@ -1,0 +1,154 @@
+"""Tests for the two-pass assembler (repro.simulator.assembler)."""
+
+import pytest
+
+from repro.simulator.assembler import (DEFAULT_DATA_BASE, AssemblyError,
+                                       assemble)
+from repro.simulator.isa import Opcode
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        program = assemble("halt")
+        assert len(program) == 1
+        assert program.instructions[0].opcode is Opcode.HALT
+
+    def test_operands_parsed(self):
+        program = assemble("add r1, r2, r3")
+        instruction = program.instructions[0]
+        assert instruction.registers == (1, 2, 3)
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("""
+        ; full-line comment
+        nop  ; trailing comment
+
+        halt
+        """)
+        assert len(program) == 2
+
+    def test_negative_immediates(self):
+        program = assemble("addi r1, r1, -1\nhalt")
+        assert program.instructions[0].immediate == -1
+
+    def test_hex_immediates(self):
+        program = assemble("ldi r1, 0xFF\nhalt")
+        assert program.instructions[0].immediate == 255
+
+
+class TestLabels:
+    def test_code_label_resolves_to_pc(self):
+        program = assemble("""
+        main: nop
+        loop: br loop
+        """)
+        assert program.address_of("loop") == program.pc_of(1)
+        assert program.instructions[1].immediate == program.pc_of(1)
+
+    def test_forward_reference(self):
+        program = assemble("""
+        br end
+        nop
+        end: halt
+        """)
+        assert program.instructions[0].immediate == program.pc_of(2)
+
+    def test_label_on_own_line(self):
+        program = assemble("""
+        alone:
+        halt
+        """)
+        assert program.address_of("alone") == program.pc_of(0)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("x: nop\nx: halt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined"):
+            assemble("br nowhere")
+
+    def test_unknown_label_lookup_lists_known(self):
+        program = assemble("main: halt")
+        with pytest.raises(KeyError, match="main"):
+            program.address_of("absent")
+
+
+class TestDataDirectives:
+    def test_data_words_placed_sequentially(self):
+        program = assemble("""
+        .data table 5, 6, 7
+        halt
+        """)
+        base = program.address_of("table")
+        assert base == DEFAULT_DATA_BASE
+        assert program.data == {base: 5, base + 1: 6, base + 2: 7}
+
+    def test_data_labels_usable_as_immediates(self):
+        program = assemble("""
+        .data arr 1, 2
+        ldi r1, arr
+        halt
+        """)
+        assert program.instructions[0].immediate == \
+            program.address_of("arr")
+
+    def test_code_labels_usable_in_data(self):
+        # Jump tables: data words holding handler addresses.
+        program = assemble("""
+        .data table h0, h1
+        h0: nop
+        h1: halt
+        """)
+        base = program.address_of("table")
+        assert program.data[base] == program.address_of("h0")
+        assert program.data[base + 1] == program.address_of("h1")
+
+    def test_dbase_moves_data_segment(self):
+        program = assemble("""
+        .dbase 0x5000
+        .data arr 9
+        halt
+        """)
+        assert program.address_of("arr") == 0x5000
+
+    def test_base_moves_code_segment(self):
+        program = assemble(".base 0x2000\nhalt")
+        assert program.entry_point == 0x2000
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("frobnicate r1", "unknown mnemonic"),
+        ("add r1, r2", "takes 3 operand"),
+        ("ld r1, 5, 0", "expected a register"),
+        ("ldi r99, 1", "out of range"),
+        (".data", ".data needs"),
+        (".sections foo", "unknown directive"),
+        ("ldi r1, 12zz", "bad immediate"),
+        ("", "no instructions"),
+    ])
+    def test_reports_offending_construct(self, source, fragment):
+        with pytest.raises(AssemblyError, match=fragment):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("nop\nbogus r1")
+        except AssemblyError as error:
+            assert error.line_number == 2
+        else:
+            pytest.fail("expected AssemblyError")
+
+
+class TestListing:
+    def test_listing_roundtrips_mnemonics(self):
+        program = assemble("""
+        main: ldi r1, 5
+        loop: addi r1, r1, -1
+              bnez r1, loop
+              halt
+        """)
+        listing = program.listing()
+        assert "main:" in listing
+        assert "bnez r1" in listing

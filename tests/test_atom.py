@@ -1,0 +1,120 @@
+"""Tests for instrumentation (repro.profiling.atom, .events)."""
+
+import pytest
+
+from repro.core.config import IntervalSpec, ProfilerConfig
+from repro.core.perfect import PerfectProfiler
+from repro.core.tuples import EventKind
+from repro.profiling.atom import Instrumenter, trace_events
+from repro.profiling.events import (BranchEvent, LoadEvent, StoreEvent,
+                                    tuple_for)
+from repro.simulator.assembler import assemble
+from repro.simulator.machine import Machine
+from repro.simulator.synth import value_locality_program
+
+
+class TestEventRecords:
+    def test_load_event_tuples(self):
+        event = LoadEvent(pc=0x1000, address=0x2000, value=42)
+        assert event.value_tuple() == (0x1000, 42)
+        assert event.address_tuple() == (0x1000, 0x2000)
+
+    def test_branch_event_edge(self):
+        event = BranchEvent(pc=0x1000, target=0x1040, taken=True)
+        assert event.edge_tuple() == (0x1000, 0x1040)
+
+    def test_tuple_for_dispatch(self):
+        load = LoadEvent(pc=1, address=2, value=3)
+        branch = BranchEvent(pc=1, target=2, taken=True)
+        store = StoreEvent(pc=1, address=2, value=3)
+        assert tuple_for(EventKind.VALUE, load) == (1, 3)
+        assert tuple_for(EventKind.VALUE, store) == (1, 3)
+        assert tuple_for(EventKind.EDGE, branch) == (1, 2)
+        assert tuple_for(EventKind.CACHE_MISS, load) == (1, 2)
+
+    def test_tuple_for_rejects_mismatches(self):
+        branch = BranchEvent(pc=1, target=2, taken=True)
+        with pytest.raises(TypeError):
+            tuple_for(EventKind.VALUE, branch)
+        load = LoadEvent(pc=1, address=2, value=3)
+        with pytest.raises(TypeError):
+            tuple_for(EventKind.EDGE, load)
+
+
+PROGRAM = """
+.data arr 7, 7, 9
+main:
+    ldi r1, arr
+    ld r2, r1, 0
+    ld r3, r1, 1
+    ld r4, r1, 2
+    beqz r0, skip
+    nop
+skip:
+    ldi r0, 0
+    halt
+"""
+
+
+class TestInstrumenter:
+    def test_collect_gathers_all_event_kinds(self):
+        machine = Machine(assemble(PROGRAM))
+        log = Instrumenter(machine).collect()
+        assert [event.value for event in log.loads] == [7, 7, 9]
+        assert len(log.branches) == 1
+
+    def test_collect_detaches_hooks(self):
+        machine = Machine(assemble(PROGRAM))
+        Instrumenter(machine).collect()
+        assert machine.load_hooks == []
+        assert machine.branch_hooks == []
+        assert machine.store_hooks == []
+
+    def test_event_log_tuples(self):
+        machine = Machine(assemble(PROGRAM))
+        log = Instrumenter(machine).collect()
+        tuples = log.tuples(EventKind.VALUE)
+        assert len(tuples) == 3
+        assert tuples[0][1] == 7
+
+    def test_stream_to_profiler_live(self):
+        machine = Machine(assemble(PROGRAM))
+        profiler = PerfectProfiler(IntervalSpec(100, 0.01))
+        Instrumenter(machine).stream_to(profiler, EventKind.VALUE)
+        counts = profiler.interval_counts()
+        assert sum(counts.values()) == 3
+
+    def test_stream_to_rejects_unknown_kind(self):
+        machine = Machine(assemble(PROGRAM))
+        profiler = PerfectProfiler(IntervalSpec(100, 0.01))
+        with pytest.raises(ValueError):
+            Instrumenter(machine).stream_to(profiler, "bogus")
+
+
+class TestTraceEvents:
+    def test_value_trace_matches_execution(self):
+        program = value_locality_program(array_size=16, iterations=2)
+        trace = trace_events(program, EventKind.VALUE)
+        assert len(trace) == 32
+        assert trace.kind is EventKind.VALUE
+        # A single load PC produces all events.
+        assert len({pc for pc, _ in trace.events()}) == 1
+
+    def test_edge_trace_nonempty(self):
+        program = value_locality_program(array_size=8, iterations=1)
+        trace = trace_events(program, EventKind.EDGE)
+        assert len(trace) > 0
+
+    def test_trace_replay_through_profiler(self):
+        from repro.profiling.session import ProfilingSession
+
+        program = value_locality_program(array_size=50, iterations=4,
+                                         hot_values=(3,), hot_mass=1.0)
+        trace = trace_events(program, EventKind.VALUE)
+        config = ProfilerConfig(interval=IntervalSpec(100, 0.05),
+                                total_entries=64, num_tables=2,
+                                conservative_update=True)
+        result = ProfilingSession(config).run(trace)
+        # One load PC always reading 3: a single, perfectly counted
+        # candidate -> zero error in every interval.
+        assert result.summary.total_error == 0.0

@@ -1,0 +1,78 @@
+"""Tests for the profiler protocol (repro.core.base)."""
+
+import pytest
+
+from repro.core.base import HardwareProfiler, IntervalProfile, ProfilerStats
+from repro.core.config import IntervalSpec
+
+
+class CountingProfiler(HardwareProfiler):
+    """Minimal concrete profiler: exact counting, for protocol tests."""
+
+    def __init__(self, interval):
+        super().__init__(interval)
+        self._counts = {}
+
+    def observe(self, event):
+        self._count_event()
+        self._counts[event] = self._counts.get(event, 0) + 1
+
+    def _close_interval(self):
+        threshold = self.interval.threshold_count
+        report = {event: count for event, count in self._counts.items()
+                  if count >= threshold}
+        self._counts.clear()
+        return report
+
+
+SPEC = IntervalSpec(length=100, threshold=0.05)
+
+
+class TestIntervalProfile:
+    def test_frequency_defaults_to_zero(self):
+        profile = IntervalProfile(index=0, candidates={(1, 1): 7},
+                                  events_observed=100)
+        assert profile.frequency((1, 1)) == 7
+        assert profile.frequency((2, 2)) == 0
+
+    def test_len_is_candidate_count(self):
+        profile = IntervalProfile(index=0,
+                                  candidates={(1, 1): 7, (2, 2): 9},
+                                  events_observed=100)
+        assert len(profile) == 2
+
+
+class TestProtocol:
+    def test_run_counts_full_and_partial_intervals(self):
+        profiler = CountingProfiler(SPEC)
+        profiles = profiler.run(iter([(1, 1)] * 250))
+        assert [p.events_observed for p in profiles] == [100, 100, 50]
+        assert [p.index for p in profiles] == [0, 1, 2]
+
+    def test_run_empty_stream(self):
+        assert CountingProfiler(SPEC).run(iter([])) == []
+
+    def test_stats_track_events_and_intervals(self):
+        profiler = CountingProfiler(SPEC)
+        profiler.run(iter([(1, 1)] * 150))
+        assert profiler.stats.events == 150
+        assert profiler.stats.intervals == 2
+
+    def test_default_observe_chunk_falls_back_to_observe(self):
+        profiler = CountingProfiler(SPEC)
+        profiler.observe_chunk([(1, 1)] * 6, None)
+        assert profiler.end_interval().candidates == {(1, 1): 6}
+
+    def test_name_defaults_to_class_name(self):
+        assert CountingProfiler(SPEC).name == "CountingProfiler"
+
+
+class TestProfilerStats:
+    def test_as_dict_round_trip(self):
+        stats = ProfilerStats(events=10, promotions=2)
+        data = stats.as_dict()
+        assert data["events"] == 10
+        assert data["promotions"] == 2
+        assert set(data) == {"events", "accumulator_hits", "hash_updates",
+                             "promotions", "rejected_promotions",
+                             "evictions", "intervals"}

@@ -1,0 +1,77 @@
+"""Tests for branch predictors (repro.simulator.branch_predictor)."""
+
+import random
+
+import pytest
+
+from repro.simulator.branch_predictor import (GSharePredictor,
+                                              TwoBitPredictor)
+
+
+class TestTwoBit:
+    def test_learns_a_steady_branch(self):
+        predictor = TwoBitPredictor()
+        for _ in range(4):
+            predictor.update(0x1000, taken=True)
+        assert predictor.predict(0x1000) is True
+
+    def test_hysteresis_survives_one_flip(self):
+        predictor = TwoBitPredictor()
+        for _ in range(4):
+            predictor.update(0x1000, taken=True)
+        predictor.update(0x1000, taken=False)  # one anomaly
+        assert predictor.predict(0x1000) is True  # still taken
+
+    def test_alternating_branch_mispredicts_heavily(self):
+        predictor = TwoBitPredictor()
+        mispredictions = sum(
+            predictor.update(0x1000, taken=bool(i % 2))
+            for i in range(100))
+        assert mispredictions > 40
+
+    def test_accuracy_statistic(self):
+        predictor = TwoBitPredictor()
+        for _ in range(10):
+            predictor.update(0x1000, taken=True)
+        assert predictor.stats.predictions == 10
+        assert predictor.stats.accuracy > 0.7
+
+    def test_distinct_pcs_use_distinct_counters(self):
+        predictor = TwoBitPredictor(entries=1024)
+        for _ in range(4):
+            predictor.update(0x1000, taken=True)
+            predictor.update(0x1004, taken=False)
+        assert predictor.predict(0x1000) is True
+        assert predictor.predict(0x1004) is False
+
+    def test_rejects_bad_entries(self):
+        with pytest.raises(ValueError):
+            TwoBitPredictor(entries=100)
+
+
+class TestGShare:
+    def test_learns_history_correlated_pattern(self):
+        # Period-2 pattern: gshare's history disambiguates, bimodal
+        # cannot.
+        gshare = GSharePredictor(history_bits=4)
+        bimodal = TwoBitPredictor()
+        gshare_misses = 0
+        bimodal_misses = 0
+        for i in range(400):
+            taken = bool(i % 2)
+            gshare_misses += gshare.update(0x1000, taken)
+            bimodal_misses += bimodal.update(0x1000, taken)
+        assert gshare_misses < bimodal_misses / 2
+
+    def test_random_branch_stays_hard_for_both(self):
+        rng = random.Random(5)
+        gshare = GSharePredictor()
+        misses = sum(gshare.update(0x1000, rng.random() < 0.5)
+                     for _ in range(500))
+        assert misses > 150  # ~50% expected; well above "learned"
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(entries=3)
+        with pytest.raises(ValueError):
+            GSharePredictor(history_bits=0)

@@ -1,0 +1,140 @@
+"""Tests for the set-associative cache model (repro.simulator.cache)."""
+
+import pytest
+
+from repro.simulator.assembler import assemble
+from repro.simulator.cache import (CacheConfig, CachedMachineMemory,
+                                   SetAssociativeCache)
+from repro.simulator.machine import Machine
+
+
+def cache(**overrides) -> SetAssociativeCache:
+    base = dict(sets=4, ways=2, line_words=4)
+    base.update(overrides)
+    return SetAssociativeCache(CacheConfig(**base))
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(sets=3), dict(sets=0), dict(ways=0), dict(line_words=3),
+    ])
+    def test_rejects_bad_geometry(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheConfig(**kwargs)
+
+    def test_capacity(self):
+        config = CacheConfig(sets=4, ways=2, line_words=4)
+        assert config.total_lines == 8
+        assert config.capacity_words == 32
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        model = cache()
+        assert model.access(0) is True
+        assert model.access(0) is False
+        assert model.access(3) is False   # same line
+        assert model.access(4) is True    # next line
+
+    def test_lru_within_set(self):
+        model = cache(sets=1, ways=2, line_words=1)
+        model.access(0)  # line 0
+        model.access(1)  # line 1
+        model.access(0)  # refresh 0
+        model.access(2)  # evicts LRU (line 1)
+        assert model.access(0) is False
+        assert model.access(1) is True
+
+    def test_sets_are_independent(self):
+        model = cache(sets=2, ways=1, line_words=1)
+        model.access(0)  # set 0
+        model.access(1)  # set 1
+        assert model.access(0) is False
+        assert model.access(1) is False
+
+    def test_stats(self):
+        model = cache()
+        model.access(0)
+        model.access(0)
+        assert model.stats.accesses == 2
+        assert model.stats.misses == 1
+        assert model.stats.hits == 1
+        assert model.stats.miss_rate == 0.5
+
+    def test_flush_preserves_stats(self):
+        model = cache()
+        model.access(0)
+        model.flush()
+        assert model.access(0) is True
+        assert model.stats.misses == 2
+
+    def test_contains_without_side_effects(self):
+        model = cache()
+        model.access(0)
+        accesses = model.stats.accesses
+        assert model.contains(0)
+        assert not model.contains(100)
+        assert model.stats.accesses == accesses
+
+
+class TestPrefetch:
+    def test_prefetch_avoids_later_miss(self):
+        model = cache()
+        assert model.prefetch(0) is True
+        assert model.access(0) is False
+        assert model.stats.prefetch_hits == 1
+        assert model.stats.prefetch_accuracy == 1.0
+
+    def test_prefetch_of_resident_line_is_free(self):
+        model = cache()
+        model.access(0)
+        assert model.prefetch(0) is False
+        assert model.stats.prefetches_issued == 0
+
+    def test_useless_prefetch_counted(self):
+        model = cache(sets=1, ways=1, line_words=1)
+        model.prefetch(5)
+        model.access(6)  # evicts the prefetched line unused
+        assert model.stats.prefetch_accuracy == 0.0
+
+    def test_line_address(self):
+        model = cache(line_words=4)
+        assert model.line_address(7) == 4
+        assert model.line_address(4) == 4
+
+
+class TestCachedMachineMemory:
+    PROGRAM = """
+    .data arr 1, 2, 3, 4, 5, 6, 7, 8
+    main:
+        ldi r1, arr
+        ldi r2, 0
+        ldi r3, 8
+    loop:
+        cmplt r5, r2, r3
+        beqz r5, done
+        add r6, r1, r2
+        ld r7, r6, 0
+        addi r2, r2, 1
+        br loop
+    done: halt
+    """
+
+    def test_classifies_loads(self):
+        machine = Machine(assemble(self.PROGRAM))
+        attached = CachedMachineMemory(
+            machine, SetAssociativeCache(CacheConfig(sets=4, ways=1,
+                                                     line_words=4)))
+        machine.run()
+        # 8 sequential words over 4-word lines: 2 cold misses.
+        assert attached.cache.stats.accesses == 8
+        assert attached.cache.stats.misses == 2
+
+    def test_on_miss_callback_and_detach(self):
+        machine = Machine(assemble(self.PROGRAM))
+        seen = []
+        attached = CachedMachineMemory(
+            machine, on_miss=lambda pc, address, value: seen.append(address))
+        attached.detach()
+        machine.run()
+        assert seen == []  # detached before execution

@@ -1,0 +1,77 @@
+"""Tests for ASCII charts (repro.metrics.charts)."""
+
+import pytest
+
+from repro.metrics.charts import bar_chart, grouped_bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_zero_values_visible(self):
+        chart = bar_chart({"a": 10.0, "b": 0.0})
+        assert "." in chart.splitlines()[1]
+
+    def test_all_zero(self):
+        chart = bar_chart({"a": 0.0})
+        assert "0.00%" in chart
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"x": 1.0, "longer": 2.0})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=5)
+
+
+class TestGroupedBarChart:
+    def test_shared_scale_across_groups(self):
+        chart = grouped_bar_chart({"g1": {"a": 10.0},
+                                   "g2": {"a": 5.0}}, width=20)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_group_headers_present(self):
+        chart = grouped_bar_chart({"gcc": {"a": 1.0}})
+        assert "gcc:" in chart
+
+    def test_empty(self):
+        assert grouped_bar_chart({}) == "(no data)"
+
+
+class TestSeriesChart:
+    def test_peak_annotated(self):
+        chart = series_chart([1.0, 8.0, 2.0], height=4)
+        assert "8.00%" in chart
+        assert "3 intervals" in chart
+
+    def test_flat_series_summarized(self):
+        assert "flat" in series_chart([0.0, 0.001, 0.0])
+
+    def test_pooling_long_series(self):
+        series = [0.0] * 200 + [9.0] + [0.0] * 200
+        chart = series_chart(series, width=20)
+        # The spike survives max-pooling.
+        assert "9.00%" in chart
+        assert "401 intervals" in chart
+
+    def test_height_rows(self):
+        chart = series_chart([1.0, 2.0], height=5)
+        assert len(chart.splitlines()) == 6  # height rows + axis
+
+    def test_rejects_bad_height(self):
+        with pytest.raises(ValueError):
+            series_chart([1.0], height=1)
+
+    def test_empty(self):
+        assert series_chart([]) == "(no data)"

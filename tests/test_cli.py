@@ -1,0 +1,74 @@
+"""Tests for the repro-profile CLI (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main
+
+
+class TestParsing:
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        config = config_from_args(args)
+        assert config.num_tables == 4
+        assert config.conservative_update
+        assert config.interval.length == 10_000
+
+    def test_profiler_flags(self):
+        args = build_parser().parse_args([
+            "stream", "--tables", "1", "--entries", "512",
+            "--interval", "5000", "--threshold", "0.02",
+            "--resetting", "--no-retaining"])
+        config = config_from_args(args)
+        assert config.num_tables == 1
+        assert not config.conservative_update  # meaningless at 1 table
+        assert config.resetting
+        assert not config.retaining
+        assert config.interval.threshold == 0.02
+
+    def test_c0_flag(self):
+        args = build_parser().parse_args(
+            ["stream", "--no-conservative-update"])
+        assert not config_from_args(args).conservative_update
+
+    def test_unknown_benchmark_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--benchmark", "quake"])
+
+
+class TestCommands:
+    def test_stream_prints_candidates_and_error(self, capsys):
+        code = main(["stream", "--benchmark", "li", "--intervals", "2",
+                     "--top", "3", "--entries", "512"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "net error" in out
+        assert "interval 0" in out
+
+    def test_record_then_trace_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "li.npz")
+        assert main(["record", "--benchmark", "li", "--events", "12000",
+                     "-o", path]) == 0
+        assert main(["trace", path, "--interval", "6000",
+                     "--entries", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "12000 events" in out
+
+    def test_record_program(self, tmp_path, capsys):
+        path = str(tmp_path / "prog.npz")
+        assert main(["record", "--program", "value", "--kind", "value",
+                     "-o", path]) == 0
+        assert "program:value" in capsys.readouterr().out
+
+    def test_trace_too_short_fails_cleanly(self, tmp_path, capsys):
+        path = str(tmp_path / "short.npz")
+        main(["record", "--benchmark", "li", "--events", "100",
+              "-o", path])
+        assert main(["trace", path, "--interval", "10000"]) == 1
+
+    def test_missing_trace_is_an_error(self, tmp_path):
+        assert main(["trace", str(tmp_path / "none.npz")]) == 2
+
+    def test_invalid_config_is_an_error(self, capsys):
+        # 2048 counters over 3 tables is not a power-of-two split.
+        assert main(["stream", "--tables", "3"]) == 2
+        assert "error:" in capsys.readouterr().err

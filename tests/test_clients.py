@@ -1,0 +1,222 @@
+"""Tests for the Section 2 optimization clients (repro.clients)."""
+
+import pytest
+
+from repro.clients import (delinquent_loads, evaluate_plan,
+                           evaluate_selection, evaluate_traces,
+                           form_traces, misprediction_tuple,
+                           plan_specializations, select_hard_branches)
+from repro.clients.trace_formation import build_edge_graph
+
+
+class TestValueSpecialization:
+    CANDIDATES = {
+        (0x100, 7): 90,    # dominant value at 0x100
+        (0x100, 8): 10,
+        (0x200, 5): 40,    # no dominant value at 0x200
+        (0x200, 6): 35,
+        (0x200, 9): 25,
+    }
+
+    def test_plans_only_dominant_values(self):
+        plan = plan_specializations(self.CANDIDATES, min_share=0.6)
+        assert len(plan) == 1
+        (item,) = plan.specializations
+        assert (item.pc, item.value) == (0x100, 7)
+        assert item.profiled_share == pytest.approx(0.9)
+
+    def test_share_is_per_pc_not_global(self):
+        plan = plan_specializations(self.CANDIDATES, min_share=0.4)
+        assert plan.chosen_values()[0x200] == 5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            plan_specializations({}, min_share=0.0)
+        with pytest.raises(ValueError):
+            plan_specializations({}, max_values_per_pc=0)
+
+    def test_evaluation_counts_hits_and_cost(self):
+        plan = plan_specializations(self.CANDIDATES, min_share=0.6)
+        events = [(0x100, 7)] * 8 + [(0x100, 8)] * 2 + [(0x300, 1)] * 5
+        outcome = evaluate_plan(plan, events, load_latency=3.0,
+                                guard_cost=1.0)
+        assert outcome.guarded_loads == 10
+        assert outcome.fast_hits == 8
+        assert outcome.hit_rate == pytest.approx(0.8)
+        assert outcome.cycles_saved == pytest.approx(8 * 3 - 10 * 1)
+
+    def test_bad_plan_shows_net_loss(self):
+        # Specializing a value that never recurs costs guard cycles.
+        plan = plan_specializations({(0x100, 7): 100}, min_share=0.5)
+        outcome = evaluate_plan(plan, [(0x100, 99)] * 20)
+        assert outcome.cycles_saved < 0
+
+
+class TestTraceFormation:
+    # A loop: block A branches to B, B back to A; a cold side exit.
+    CANDIDATES = {
+        (0x1000, 0x1040): 500,   # A -> B
+        (0x1060, 0x1000): 480,   # B -> A (branch at 0x1060, in B)
+        (0x1000, 0x1004): 20,    # A fall-through (cold)
+    }
+
+    def test_forms_the_hot_loop_trace(self):
+        plan = form_traces(self.CANDIDATES, max_traces=2)
+        assert plan.traces
+        hot = plan.traces[0]
+        assert hot.edges[0] == (0x1000, 0x1040)
+        assert (0x1060, 0x1000) in hot.edges
+
+    def test_coverage_reflects_weight(self):
+        plan = form_traces(self.CANDIDATES, max_traces=1,
+                           max_trace_edges=4)
+        assert plan.coverage > 0.9
+
+    def test_min_weight_filters_cold_edges(self):
+        plan = form_traces(self.CANDIDATES, min_edge_weight=100)
+        assert (0x1000, 0x1004) not in plan.edge_set()
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            form_traces(self.CANDIDATES, max_traces=0)
+
+    def test_evaluation_on_executed_stream(self):
+        plan = form_traces(self.CANDIDATES)
+        executed = [(0x1000, 0x1040), (0x1060, 0x1000)] * 10 \
+            + [(0x9000, 0x9100)] * 5
+        outcome = evaluate_traces(plan, executed)
+        assert outcome.executed_edges == 25
+        assert outcome.fetch_coverage == pytest.approx(20 / 25)
+
+    def test_graph_builder_accumulates_weights(self):
+        graph = build_edge_graph({(1, 2): 5})
+        assert graph[1][2]["weight"] == 5
+
+
+class TestPrefetchClient:
+    CANDIDATES = {
+        (0x500, 0x8000): 50,
+        (0x500, 0x8040): 45,   # same PC, streaming across lines
+        (0x600, 0x9000): 30,
+        (0x700, 0xA000): 5,
+    }
+
+    def test_delinquent_ranking_aggregates_lines(self):
+        ranked = delinquent_loads(self.CANDIDATES, top=2)
+        assert ranked[0] == (0x500, 95)
+        assert ranked[1] == (0x600, 30)
+
+    def test_top_limits_selection(self):
+        assert len(delinquent_loads(self.CANDIDATES, top=1)) == 1
+        with pytest.raises(ValueError):
+            delinquent_loads(self.CANDIDATES, top=0)
+
+    def test_stride_prefetcher_removes_streaming_misses(self):
+        from repro.simulator.cache import CacheConfig, SetAssociativeCache
+        from repro.clients.prefetch import StridePrefetcher
+
+        cache = SetAssociativeCache(CacheConfig(sets=16, ways=2,
+                                                line_words=4))
+        prefetcher = StridePrefetcher(cache, pcs=[0x500], degree=2)
+        misses = 0
+        for i in range(64):
+            address = 0x8000 + 4 * i  # one line per access
+            if cache.access(address):
+                misses += 1
+            prefetcher.observe(0x500, address)
+        # After the stride locks in, prefetching hides the stream.
+        assert misses < 10
+        assert prefetcher.stats.issued > 0
+
+    def test_untracked_pcs_ignored(self):
+        from repro.simulator.cache import SetAssociativeCache
+        from repro.clients.prefetch import StridePrefetcher
+
+        cache = SetAssociativeCache()
+        prefetcher = StridePrefetcher(cache, pcs=[0x500])
+        prefetcher.observe(0x999, 0x8000)
+        assert prefetcher.stats.observed_loads == 0
+
+
+class TestHardBranches:
+    CANDIDATES = {
+        misprediction_tuple(0x100, True): 60,
+        misprediction_tuple(0x100, False): 55,  # alternating branch
+        misprediction_tuple(0x200, True): 30,
+        misprediction_tuple(0x300, False): 4,
+    }
+
+    def test_selection_aggregates_directions(self):
+        selection = select_hard_branches(self.CANDIDATES, max_branches=2)
+        assert selection.branches == (0x100, 0x200)
+        assert selection.profiled_weight[0x100] == 115
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            select_hard_branches(self.CANDIDATES, max_branches=0)
+
+    def test_coverage_evaluation(self):
+        selection = select_hard_branches(self.CANDIDATES, max_branches=1)
+        truth = {0x100: 120, 0x200: 35, 0x300: 45}
+        outcome = evaluate_selection(selection, truth)
+        assert outcome.total_mispredictions == 200
+        assert outcome.coverage == pytest.approx(120 / 200)
+
+
+class TestEndToEndHardBranchPipeline:
+    def test_monitor_profiles_feed_selection(self):
+        """Run a program with a data-dependent branch, profile its
+        mispredictions through the real multi-hash profiler, and check
+        the selection covers most stalls."""
+        import random
+
+        from repro.clients import MispredictionMonitor
+        from repro.core import IntervalSpec, best_multi_hash
+        from repro.profiling import ProfilingSession
+        from repro.simulator import Machine, assemble
+        from repro.workloads import record
+
+        rng = random.Random(8)
+        data = ", ".join(str(rng.randrange(2)) for _ in range(256))
+        machine = Machine(assemble(f"""
+        .data bits {data}
+        main:
+            ldi r10, 6
+        outer:
+            beqz r10, done
+            ldi r1, bits
+            ldi r2, 0
+            ldi r3, 256
+        loop:
+            cmplt r5, r2, r3
+            beqz r5, next
+            add r6, r1, r2
+            ld r7, r6, 0
+        hard:
+            bnez r7, odd       ; data-dependent: hard to predict
+            addi r8, r8, 1
+        odd:
+            addi r2, r2, 1
+            br loop
+        next:
+            addi r10, r10, -1
+            br outer
+        done: halt
+        """))
+        monitor = MispredictionMonitor(machine)
+        machine.run()
+        monitor.detach()
+
+        hard_pc = machine.program.address_of("hard")
+        assert monitor.true_mispredicts.get(hard_pc, 0) > 100
+
+        spec = IntervalSpec(length=256, threshold=0.05)
+        result = ProfilingSession(
+            best_multi_hash(spec, total_entries=256),
+            keep_profiles=True).run(record(monitor.tuples))
+        profile = result.single().profiles[0]
+        selection = select_hard_branches(profile.candidates,
+                                         max_branches=2)
+        assert hard_pc in selection.branches
+        outcome = evaluate_selection(selection, monitor.true_mispredicts)
+        assert outcome.coverage > 0.5

@@ -1,0 +1,97 @@
+"""Tests for profiler configuration (repro.core.config)."""
+
+import pytest
+
+from repro.core.config import (LONG_INTERVAL, SHORT_INTERVAL, IntervalSpec,
+                               ProfilerConfig, best_multi_hash,
+                               best_single_hash)
+
+
+class TestIntervalSpec:
+    def test_paper_short_point(self):
+        assert SHORT_INTERVAL.length == 10_000
+        assert SHORT_INTERVAL.threshold_count == 100
+        assert SHORT_INTERVAL.max_candidates == 100
+
+    def test_paper_long_point(self):
+        assert LONG_INTERVAL.length == 1_000_000
+        assert LONG_INTERVAL.threshold_count == 1_000
+        assert LONG_INTERVAL.max_candidates == 1_000
+
+    def test_threshold_count_rounds_up(self):
+        spec = IntervalSpec(length=1_500, threshold=0.001)
+        assert spec.threshold_count == 2
+
+    def test_scaled_preserves_threshold_fraction(self):
+        scaled = LONG_INTERVAL.scaled(0.2)
+        assert scaled.length == 200_000
+        assert scaled.threshold == LONG_INTERVAL.threshold
+
+    @pytest.mark.parametrize("length,threshold", [
+        (0, 0.01), (-5, 0.01), (100, 0.0), (100, 1.5), (100, 0.001),
+    ])
+    def test_rejects_invalid(self, length, threshold):
+        with pytest.raises(ValueError):
+            IntervalSpec(length=length, threshold=threshold)
+
+    def test_hashable_for_session_grouping(self):
+        assert {SHORT_INTERVAL, IntervalSpec(10_000, 0.01)} == {
+            SHORT_INTERVAL}
+
+
+class TestProfilerConfig:
+    def test_default_is_paper_hardware(self):
+        config = ProfilerConfig()
+        assert config.total_entries == 2048
+        assert config.counter_bits == 24  # 3-byte counters
+
+    def test_entries_split_evenly(self):
+        config = ProfilerConfig(num_tables=4)
+        assert config.entries_per_table == 512
+        assert config.index_bits == 9
+
+    def test_accumulator_defaults_to_worst_case(self):
+        assert ProfilerConfig().accumulator_capacity == 100
+        assert ProfilerConfig(
+            interval=LONG_INTERVAL).accumulator_capacity == 1000
+
+    def test_accumulator_override(self):
+        config = ProfilerConfig(accumulator_entries=17)
+        assert config.accumulator_capacity == 17
+
+    def test_rejects_non_power_of_two_split(self):
+        with pytest.raises(ValueError):
+            ProfilerConfig(total_entries=2048, num_tables=3)
+
+    def test_rejects_zero_tables(self):
+        with pytest.raises(ValueError):
+            ProfilerConfig(num_tables=0)
+
+    def test_label_shorthand(self):
+        assert ProfilerConfig().label == "SH-R0-P1"
+        assert best_single_hash().label == "SH-R1-P1"
+        assert best_multi_hash().label == "MH4-C1-R0-P1"
+
+    def test_with_tables_copies(self):
+        base = best_multi_hash()
+        other = base.with_tables(8)
+        assert other.num_tables == 8
+        assert base.num_tables == 4
+
+    def test_with_interval_copies(self):
+        other = best_multi_hash().with_interval(LONG_INTERVAL)
+        assert other.interval == LONG_INTERVAL
+
+
+class TestBestConfigs:
+    def test_best_single_hash_is_p1_r1(self):
+        config = best_single_hash()
+        assert config.retaining and config.resetting
+        assert config.num_tables == 1
+
+    def test_best_multi_hash_is_c1_r0_four_tables(self):
+        config = best_multi_hash()
+        assert config.conservative_update
+        assert not config.resetting
+        assert config.retaining
+        assert config.num_tables == 4

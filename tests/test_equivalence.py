@@ -1,0 +1,121 @@
+"""Property tests: the batched fast paths equal the reference paths.
+
+The chunked ``observe_chunk`` implementations exist purely for speed;
+these properties pin them to the per-event ``observe`` semantics on
+randomized streams covering aliasing, promotion, retention and interval
+boundaries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import IntervalSpec, ProfilerConfig
+from repro.core.multi_hash import MultiHashProfiler
+from repro.core.single_hash import SingleHashProfiler
+
+SPEC = IntervalSpec(length=200, threshold=0.05)  # threshold_count 10
+
+# Streams drawn from a small tuple universe so aliasing and promotion
+# are frequent at a 16..64-entry table.
+EVENTS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40),
+              st.integers(min_value=0, max_value=3)),
+    min_size=1, max_size=600)
+
+CONFIG_FLAGS = st.tuples(st.booleans(), st.booleans(), st.booleans())
+
+
+def _run_reference(profiler, events):
+    profiles = []
+    for position, event in enumerate(events, start=1):
+        profiler.observe(event)
+        if position % SPEC.length == 0:
+            profiles.append(profiler.end_interval())
+    return profiles
+
+
+def _run_chunked(profiler, events, functions, chunk_size):
+    profiles = []
+    position = 0
+    while position < len(events):
+        take = min(chunk_size, SPEC.length - (position % SPEC.length),
+                   len(events) - position)
+        chunk = events[position:position + take]
+        index_lists = [[function(event) for event in chunk]
+                       for function in functions]
+        profiler.observe_chunk(chunk, index_lists)
+        position += take
+        if position % SPEC.length == 0:
+            profiles.append(profiler.end_interval())
+    return profiles
+
+
+@given(EVENTS, CONFIG_FLAGS, st.integers(min_value=1, max_value=77))
+@settings(max_examples=40, deadline=None)
+def test_single_hash_chunked_equals_reference(events, flags, chunk_size):
+    retaining, resetting, shielding = flags
+    config = ProfilerConfig(interval=SPEC, total_entries=16, num_tables=1,
+                            retaining=retaining, resetting=resetting,
+                            shielding=shielding)
+    reference = SingleHashProfiler(config)
+    chunked = SingleHashProfiler(config)
+    reference_profiles = _run_reference(reference, events)
+    chunked_profiles = _run_chunked(chunked, events,
+                                    [chunked.hash_function], chunk_size)
+    assert [p.candidates for p in reference_profiles] == \
+           [p.candidates for p in chunked_profiles]
+    assert reference.stats.as_dict() == chunked.stats.as_dict()
+
+
+@given(EVENTS, CONFIG_FLAGS, st.booleans(),
+       st.integers(min_value=1, max_value=77))
+@settings(max_examples=40, deadline=None)
+def test_multi_hash_chunked_equals_reference(events, flags, conservative,
+                                             chunk_size):
+    retaining, resetting, shielding = flags
+    config = ProfilerConfig(interval=SPEC, total_entries=16, num_tables=4,
+                            retaining=retaining, resetting=resetting,
+                            shielding=shielding,
+                            conservative_update=conservative)
+    reference = MultiHashProfiler(config)
+    chunked = MultiHashProfiler(config)
+    reference_profiles = _run_reference(reference, events)
+    chunked_profiles = _run_chunked(chunked, events,
+                                    chunked.hash_functions, chunk_size)
+    assert [p.candidates for p in reference_profiles] == \
+           [p.candidates for p in chunked_profiles]
+    assert reference.stats.as_dict() == chunked.stats.as_dict()
+
+
+@given(EVENTS)
+@settings(max_examples=20, deadline=None)
+def test_chunked_without_indices_falls_back(events):
+    config = ProfilerConfig(interval=SPEC, total_entries=16, num_tables=2)
+    reference = MultiHashProfiler(config)
+    fallback = MultiHashProfiler(config)
+    for event in events:
+        reference.observe(event)
+    fallback.observe_chunk(list(events), None)
+    assert reference.end_interval().candidates == \
+           fallback.end_interval().candidates
+
+
+def test_multi_hash_estimate_never_undercounts():
+    """Count-min property: the sketch estimate upper-bounds the true
+    per-interval count for every observed tuple."""
+    import random
+
+    rng = random.Random(3)
+    config = ProfilerConfig(interval=IntervalSpec(5_000, 0.01),
+                            total_entries=64, num_tables=4,
+                            conservative_update=True, shielding=False,
+                            accumulator_entries=1)
+    profiler = MultiHashProfiler(config)
+    counts = {}
+    for _ in range(3_000):
+        event = (rng.randrange(50), 0)
+        profiler.observe(event)
+        counts[event] = counts.get(event, 0) + 1
+    for event, true_count in counts.items():
+        assert profiler.estimate(event) >= true_count

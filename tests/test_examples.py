@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run and tell their stories.
+
+Each example is imported by path and its ``main()`` executed; quick
+sanity checks on the printed output keep the examples from silently
+rotting.  The two long-running showcases (the design-space tour and the
+online-adaptive run) are exercised by their own subsystem tests and are
+only import-checked here.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = {
+    "quickstart.py": "net error",
+    "value_profile_program.py": "frequent <load PC, value> tuples",
+    "edge_profile_dispatch.py": "hot-edge recall",
+    "cache_miss_candidates.py": "thrashing chase",
+    "prefetch_delinquent_loads.py": "reduction",
+    "trace_formation_demo.py": "fetch coverage",
+    "value_specialization_plan.py": "cycles saved",
+}
+
+SLOW_EXAMPLES = ["design_space_tour.py", "online_adaptive_intervals.py"]
+
+
+def load_example(name):
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name,marker", sorted(FAST_EXAMPLES.items()))
+def test_fast_example_runs(name, marker, capsys):
+    module = load_example(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert marker in output
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_importable(name):
+    module = load_example(name)
+    assert callable(module.main)

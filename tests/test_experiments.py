@@ -1,0 +1,109 @@
+"""Smoke + shape tests for the experiment harness at tiny scale.
+
+Each experiment runs end-to-end on a seconds-scale configuration; the
+cheap closed-form experiments additionally assert their paper shapes
+exactly.  The full shape criteria are exercised by the benchmarks/
+suite at the default scale.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentScale
+from repro.experiments.base import ExperimentReport
+
+TINY = ExperimentScale().tiny()
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return TINY
+
+
+class TestRegistry:
+    def test_every_figure_registered(self):
+        expected = {"fig04", "fig05", "fig06", "fig07", "fig09", "fig10",
+                    "fig11", "fig12", "fig13", "fig14", "area",
+                    "stratified", "tablesize", "adaptive", "baselines",
+                    "ablations"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.base import experiment
+
+        with pytest.raises(ValueError):
+            experiment("fig09")(lambda: None)
+
+
+@pytest.mark.parametrize("name", ["fig04", "fig05", "fig06", "fig07",
+                                  "fig09", "fig10", "fig11", "fig12",
+                                  "fig13", "fig14", "area", "stratified",
+                                  "tablesize", "adaptive", "baselines",
+                                  "ablations"])
+def test_experiment_runs_and_renders(name, tiny_scale):
+    report = EXPERIMENTS[name](tiny_scale)
+    assert isinstance(report, ExperimentReport)
+    rendered = report.render()
+    assert name in rendered or report.title in rendered
+    assert report.tables  # at least one table
+
+
+class TestScale:
+    def test_tiny_scale_is_small(self):
+        assert TINY.long_interval_length <= 50_000
+        assert len(TINY.benchmarks) <= 4
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        scale = ExperimentScale.from_env()
+        assert scale.long_interval_length == 1_000_000
+        monkeypatch.setenv("REPRO_LONG_LENGTH", "50000")
+        monkeypatch.setenv("REPRO_BENCHMARKS", "li,gcc")
+        scale = ExperimentScale.from_env()
+        assert scale.long_interval_length == 50_000
+        assert scale.benchmarks == ("li", "gcc")
+
+    def test_rejects_unknown_benchmarks(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(benchmarks=("quake",))
+
+    def test_rejects_too_short_long_interval(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(long_interval_length=500)
+
+
+class TestClosedFormShapes:
+    def test_fig09_optimum_shapes(self, tiny_scale):
+        report = EXPERIMENTS["fig09"](tiny_scale)
+        optima = report.data["optima"]
+        assert optima[1000] == 4       # the paper's callout
+        assert optima[500] < optima[8000]
+
+    def test_area_matches_paper_budget(self, tiny_scale):
+        report = EXPERIMENTS["area"](tiny_scale)
+        short = report.data[("1%", 4)]
+        long = report.data[("0.1%", 4)]
+        assert 6_500 < short.total_bytes < 7_500
+        assert 15_500 < long.total_bytes < 16_500
+
+
+class TestRunnerCLI:
+    def test_main_runs_named_experiment(self, capsys):
+        from repro.experiments.runner import main
+
+        code = main(["fig09"])
+        assert code == 0
+        assert "fig09" in capsys.readouterr().out
+
+    def test_main_rejects_unknown(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["figZZ"]) == 2
+
+    def test_scale_flags(self):
+        from repro.experiments.runner import build_parser, scale_from_args
+
+        args = build_parser().parse_args(
+            ["fig09", "--long-length", "50000", "--benchmarks", "li"])
+        scale = scale_from_args(args)
+        assert scale.long_interval_length == 50_000
+        assert scale.benchmarks == ("li",)

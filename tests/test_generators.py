@@ -1,0 +1,183 @@
+"""Tests for the stream generators (repro.workloads.generators)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuples import EventKind
+from repro.workloads.generators import (HotBand, StreamModel,
+                                        TupleStreamGenerator)
+
+
+def simple_model(**overrides) -> StreamModel:
+    base = dict(
+        name="test",
+        kind=EventKind.VALUE,
+        bands=(HotBand(count=10, top_share=0.05, bottom_share=0.012),),
+        recurring_mass=0.2,
+        recurring_pool=100,
+        num_phases=1,
+        seed=7,
+    )
+    base.update(overrides)
+    return StreamModel(**base)
+
+
+class TestHotBand:
+    def test_shares_descend_from_top_to_bottom(self):
+        band = HotBand(count=5, top_share=0.04, bottom_share=0.01)
+        shares = band.shares()
+        assert shares[0] == pytest.approx(0.04)
+        assert shares[-1] == pytest.approx(0.01)
+        assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+    def test_single_tuple_band(self):
+        band = HotBand(count=1, top_share=0.03, bottom_share=0.01)
+        assert band.shares().tolist() == [0.03]
+
+    def test_mass_is_share_sum(self):
+        band = HotBand(count=4, top_share=0.04, bottom_share=0.01)
+        assert band.mass == pytest.approx(band.shares().sum())
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(count=0, top_share=0.04, bottom_share=0.01),
+        dict(count=3, top_share=0.01, bottom_share=0.04),
+        dict(count=3, top_share=1.5, bottom_share=0.01),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            HotBand(**kwargs)
+
+
+class TestStreamModel:
+    def test_mass_accounting(self):
+        model = simple_model()
+        assert model.hot_mass + model.recurring_mass + model.fresh_mass \
+            == pytest.approx(1.0)
+
+    def test_rejects_overcommitted_masses(self):
+        heavy = HotBand(count=30, top_share=0.05, bottom_share=0.03)
+        with pytest.raises(ValueError):
+            simple_model(bands=(heavy,), recurring_mass=0.5)
+
+    def test_candidates_at_threshold(self):
+        model = simple_model()
+        assert model.candidates_at(0.012) == 10
+        assert model.candidates_at(0.051) == 0
+
+    def test_band_rotation_overlap(self):
+        model = simple_model(num_phases=4, phase_overlap=0.5)
+        band = model.bands[0]
+        shift, universe = model.band_rotation(band)
+        assert shift == 5  # half the band rotates out
+        assert universe >= band.count
+
+    def test_single_phase_no_rotation(self):
+        model = simple_model()
+        assert model.band_rotation(model.bands[0]) == (0, 10)
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_stream(self):
+        a = TupleStreamGenerator(simple_model())
+        b = TupleStreamGenerator(simple_model())
+        assert list(a.events(2_000)) == list(b.events(2_000))
+
+    def test_reset_rewinds(self):
+        generator = TupleStreamGenerator(simple_model())
+        first = list(generator.events(1_000))
+        generator.reset()
+        assert list(generator.events(1_000)) == first
+
+    def test_chunking_pattern_is_part_of_determinism(self):
+        # Same chunk sizes -> same stream; the generator documents that
+        # different chunking may consume randomness differently.
+        a = TupleStreamGenerator(simple_model())
+        b = TupleStreamGenerator(simple_model())
+        pcs_a, values_a = a.chunk(500)
+        pcs_b, values_b = b.chunk(500)
+        assert (pcs_a == pcs_b).all() and (values_a == values_b).all()
+
+    def test_rejects_empty_chunk(self):
+        with pytest.raises(ValueError):
+            TupleStreamGenerator(simple_model()).chunk(0)
+
+
+class TestStreamStatistics:
+    def test_hot_mass_realized(self):
+        model = simple_model()
+        generator = TupleStreamGenerator(model)
+        events = list(generator.events(20_000))
+        hot_values = set(generator._hot_values.tolist())
+        hot_seen = sum(1 for _, value in events if value in hot_values)
+        assert hot_seen / len(events) == pytest.approx(model.hot_mass,
+                                                       abs=0.02)
+
+    def test_fresh_tuples_never_repeat(self):
+        from repro.workloads.generators import FRESH_PC_BASE
+
+        generator = TupleStreamGenerator(simple_model())
+        fresh = [event for event in generator.events(30_000)
+                 if event[0] >= FRESH_PC_BASE]
+        assert len(fresh) == len(set(fresh))
+
+    def test_top_tuple_frequency_matches_share(self):
+        model = simple_model()
+        generator = TupleStreamGenerator(model)
+        counts = {}
+        for event in generator.events(50_000):
+            counts[event] = counts.get(event, 0) + 1
+        top_count = max(counts.values())
+        assert top_count / 50_000 == pytest.approx(0.05, rel=0.15)
+
+    def test_phase_change_rotates_hot_set(self):
+        model = simple_model(num_phases=2, phase_length=5_000,
+                             phase_overlap=0.0)
+        generator = TupleStreamGenerator(model)
+        first = {e for e in generator.events(5_000)}
+        second = {e for e in generator.events(5_000)}
+        hot_values = set(generator._hot_values.tolist())
+        hot_first = {e for e in first if e[1] in hot_values}
+        hot_second = {e for e in second if e[1] in hot_values}
+        assert hot_first and hot_second
+        assert not (hot_first & hot_second)  # zero overlap requested
+
+
+class TestBurstiness:
+    def test_bursts_cluster_occurrences(self):
+        smooth_model = simple_model(burstiness=0.0)
+        bursty_model = simple_model(burstiness=0.9)
+        smooth = TupleStreamGenerator(smooth_model)
+        bursty = TupleStreamGenerator(bursty_model)
+        assert _mean_run_length(smooth.events(20_000)) < \
+            _mean_run_length(bursty.events(20_000))
+
+    def test_bursty_slots_limit_exempts_upper_slots(self):
+        bands = (HotBand(count=2, top_share=0.2, bottom_share=0.15),
+                 HotBand(count=50, top_share=0.01, bottom_share=0.005))
+        model = simple_model(bands=bands, recurring_mass=0.0,
+                             burstiness=0.95, bursty_slots=2)
+        generator = TupleStreamGenerator(model)
+        counts = {}
+        for event in generator.events(30_000):
+            counts[event] = counts.get(event, 0) + 1
+        # The exempt band's per-tuple counts stay near their expected
+        # Poisson mean rather than burst-amplified extremes.
+        band2_values = set(generator._hot_values[2:52].tolist())
+        band2_counts = [c for (pc, v), c in counts.items()
+                        if v in band2_values]
+        expected_max = 0.01 * 30_000
+        assert max(band2_counts) < expected_max * 2.5
+
+
+def _mean_run_length(events) -> float:
+    runs = 1
+    total = 0
+    previous = None
+    for event in events:
+        total += 1
+        if previous is not None and event != previous:
+            runs += 1
+        previous = event
+    return total / runs

@@ -1,0 +1,90 @@
+"""Tests for the hot-spot detector baseline (repro.core.hotspot)."""
+
+import pytest
+
+from repro.core.config import IntervalSpec
+from repro.core.hotspot import HotSpotConfig, HotSpotDetector
+
+SPEC = IntervalSpec(length=2_000, threshold=0.01)  # threshold_count 20
+
+
+def config(**overrides) -> HotSpotConfig:
+    base = dict(interval=SPEC, sets=16, ways=2, candidate_threshold=8,
+                hdc_max=64, hdc_decrement=2, hdc_increment=1)
+    base.update(overrides)
+    return HotSpotConfig(**base)
+
+
+def loop_stream(branches, repetitions):
+    for _ in range(repetitions):
+        for branch in branches:
+            yield branch
+
+
+class TestDetection:
+    def test_tight_loop_enters_hot_spot(self):
+        detector = HotSpotDetector(config())
+        branches = [(0x100 + 8 * i, 0x200 + 8 * i) for i in range(4)]
+        for event in loop_stream(branches, 100):
+            detector.observe(event)
+        assert detector.in_hot_spot
+        assert detector.hot_fraction() > 0.5
+
+    def test_random_walk_never_hot(self):
+        detector = HotSpotDetector(config())
+        for i in range(400):
+            detector.observe((0x1000 + 8 * i, i))  # all unique
+        assert not detector.in_hot_spot
+        assert detector.hot_events == 0
+
+    def test_hot_entries_counted_once_per_region(self):
+        detector = HotSpotDetector(config())
+        branches = [(0x100, 0x200)]
+        for event in loop_stream(branches, 200):
+            detector.observe(event)
+        assert detector.hot_entries == 1
+
+    def test_leaving_the_loop_exits_hot_spot(self):
+        detector = HotSpotDetector(config())
+        for event in loop_stream([(0x100, 0x200)], 100):
+            detector.observe(event)
+        assert detector.in_hot_spot
+        for i in range(300):
+            detector.observe((0x9000 + 8 * i, i))
+        assert not detector.in_hot_spot
+
+
+class TestReporting:
+    def test_candidates_reported_at_interval_end(self):
+        detector = HotSpotDetector(config())
+        for event in loop_stream([(0x100, 0x200), (0x108, 0x300)], 50):
+            detector.observe(event)
+        profile = detector.end_interval()
+        assert profile.candidates == {(0x100, 0x200): 50,
+                                      (0x108, 0x300): 50}
+
+    def test_interval_end_resets_detector(self):
+        detector = HotSpotDetector(config())
+        for event in loop_stream([(0x100, 0x200)], 100):
+            detector.observe(event)
+        detector.end_interval()
+        assert not detector.in_hot_spot
+        assert detector.end_interval().candidates == {}
+
+    def test_sub_threshold_candidates_not_reported(self):
+        detector = HotSpotDetector(config())
+        # Candidate flag fires at 8 executions, but the interval
+        # threshold is 20: 10 executions must not be reported.
+        for event in loop_stream([(0x100, 0x200)], 10):
+            detector.observe(event)
+        assert detector.end_interval().candidates == {}
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(sets=3), dict(ways=0), dict(candidate_threshold=0),
+        dict(hdc_max=0), dict(hdc_decrement=0), dict(hdc_increment=0),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            config(**kwargs)

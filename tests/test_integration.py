@@ -1,0 +1,111 @@
+"""End-to-end integration tests spanning all subsystems.
+
+These exercise whole pipelines -- simulator -> instrumentation ->
+profilers -> error metrics -- and pin the paper's headline qualitative
+results at a reduced (but non-trivial) scale.
+"""
+
+import pytest
+
+from repro.core.config import (SHORT_INTERVAL, IntervalSpec,
+                               ProfilerConfig, best_multi_hash,
+                               best_single_hash)
+from repro.core.tuples import EventKind
+from repro.profiling.atom import trace_events
+from repro.profiling.session import ProfilingSession
+from repro.simulator.synth import mixed_program
+from repro.workloads.benchmarks import benchmark_generator
+
+
+class TestSimulatorToProfilerPipeline:
+    def test_value_and_edge_profiles_from_one_program(self):
+        program = mixed_program(array_size=64, iterations=12, seed=6)
+        spec = IntervalSpec(length=500, threshold=0.02)
+        config = ProfilerConfig(interval=spec, total_entries=256,
+                                num_tables=4, conservative_update=True)
+        for kind in (EventKind.VALUE, EventKind.EDGE):
+            trace = trace_events(program, kind)
+            assert len(trace) >= spec.length  # enough for >= 1 interval
+            result = ProfilingSession(config).run(trace)
+            # The mixed program's hot values / dispatch edges are highly
+            # skewed: the multi-hash profiler captures them near-exactly.
+            assert result.summary.percent() < 5.0
+            assert result.perfect_profiles[0].candidates
+
+
+class TestHeadlineShapes:
+    """The paper's main claims at a scaled-down operating point."""
+
+    SPEC = IntervalSpec(length=50_000, threshold=0.001)
+    INTERVALS = 3
+
+    def _errors(self, benchmark, configs):
+        session = ProfilingSession([config for _, config in configs])
+        outcome = session.run(benchmark_generator(benchmark),
+                              max_intervals=self.INTERVALS)
+        return {label: result.summary.percent()
+                for (label, _), result in zip(configs,
+                                              outcome.results.values())}
+
+    def test_multi_hash_beats_best_single_hash_under_pressure(self):
+        configs = [("BSH", best_single_hash(self.SPEC)),
+                   ("MH4", best_multi_hash(self.SPEC))]
+        for benchmark in ("gcc", "go"):
+            errors = self._errors(benchmark, configs)
+            assert errors["MH4"] < errors["BSH"]
+
+    def test_conservative_update_large_win_with_many_tables(self):
+        configs = [
+            ("C0", ProfilerConfig(interval=self.SPEC, num_tables=8)),
+            ("C1", ProfilerConfig(interval=self.SPEC, num_tables=8,
+                                  conservative_update=True)),
+        ]
+        errors = self._errors("gcc", configs)
+        assert errors["C1"] < errors["C0"] / 3
+
+    def test_single_hash_optimizations_reduce_error(self):
+        configs = [
+            ("P0R0", ProfilerConfig(interval=SHORT_INTERVAL,
+                                    retaining=False, resetting=False)),
+            ("P1R1", ProfilerConfig(interval=SHORT_INTERVAL,
+                                    retaining=True, resetting=True)),
+        ]
+        session = ProfilingSession([config for _, config in configs])
+        outcome = session.run(benchmark_generator("gcc"),
+                              max_intervals=15)
+        results = list(outcome.results.values())
+        assert results[1].summary.percent() < results[0].summary.percent()
+
+    def test_best_multi_hash_under_one_percent_at_short_point(self):
+        """Abstract headline: 'an average error less than 1%'."""
+        total = 0.0
+        benchmarks = ("gcc", "li", "vortex", "m88ksim")
+        for benchmark in benchmarks:
+            session = ProfilingSession([best_multi_hash(SHORT_INTERVAL)])
+            outcome = session.run(benchmark_generator(benchmark),
+                                  max_intervals=15)
+            total += outcome.summary.percent()
+        assert total / len(benchmarks) < 1.0
+
+    def test_edge_profiling_reaches_same_conclusion(self):
+        configs = [("BSH", best_single_hash(self.SPEC)),
+                   ("MH4", best_multi_hash(self.SPEC))]
+        session = ProfilingSession([config for _, config in configs])
+        outcome = session.run(
+            benchmark_generator("gcc", EventKind.EDGE),
+            max_intervals=self.INTERVALS)
+        results = list(outcome.results.values())
+        assert results[1].summary.percent() <= results[0].summary.percent()
+
+
+class TestStratifiedContrast:
+    def test_stratified_needs_software_where_multihash_does_not(self):
+        from repro.core.stratified import StratifiedConfig, StratifiedSampler
+
+        spec = IntervalSpec(length=10_000, threshold=0.01)
+        sampler = StratifiedSampler(StratifiedConfig(
+            interval=spec, sampling_threshold=8))
+        session = ProfilingSession([best_multi_hash(spec), sampler])
+        session.run(benchmark_generator("li"), max_intervals=5)
+        assert sampler.interrupts > 0
+        assert sampler.software_overhead() > 0.0

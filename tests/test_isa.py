@@ -1,0 +1,60 @@
+"""Tests for instruction definitions (repro.simulator.isa)."""
+
+import pytest
+
+from repro.simulator.isa import (CONDITIONAL_OPCODES, CONTROL_OPCODES,
+                                 OPERAND_SHAPES, Instruction, Opcode)
+
+
+class TestInstructionValidation:
+    def test_three_operand_alu(self):
+        instruction = Instruction(Opcode.ADD, registers=(1, 2, 3))
+        assert not instruction.is_control
+
+    def test_wrong_register_count_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, registers=(1, 2))
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LDI, registers=(32,), immediate=0)
+
+    def test_missing_immediate_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LDI, registers=(1,))
+
+    def test_unexpected_immediate_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, registers=(1, 2, 3), immediate=5)
+
+    def test_every_opcode_has_a_shape(self):
+        assert set(OPERAND_SHAPES) == set(Opcode)
+
+
+class TestClassification:
+    def test_control_opcodes(self):
+        assert Opcode.BR in CONTROL_OPCODES
+        assert Opcode.RET in CONTROL_OPCODES
+        assert Opcode.ADD not in CONTROL_OPCODES
+
+    def test_conditionals_subset_of_control(self):
+        assert CONDITIONAL_OPCODES <= CONTROL_OPCODES
+
+    def test_is_conditional(self):
+        branch = Instruction(Opcode.BEQZ, registers=(1,), immediate=0x100)
+        jump = Instruction(Opcode.BR, immediate=0x100)
+        assert branch.is_conditional
+        assert not jump.is_conditional
+
+
+class TestRendering:
+    def test_render_alu(self):
+        assert Instruction(Opcode.ADD,
+                           registers=(1, 2, 3)).render() == "add r1, r2, r3"
+
+    def test_render_with_immediate(self):
+        assert Instruction(Opcode.LD, registers=(4, 2),
+                           immediate=8).render() == "ld r4, r2, 8"
+
+    def test_render_bare(self):
+        assert Instruction(Opcode.HALT).render() == "halt"

@@ -1,0 +1,223 @@
+"""Tests for the SimpleAlpha interpreter (repro.simulator.machine)."""
+
+import pytest
+
+from repro.simulator.assembler import assemble
+from repro.simulator.isa import WORD_MASK
+from repro.simulator.machine import Machine, MachineFault
+
+
+def run(source, max_instructions=100_000):
+    machine = Machine(assemble(source))
+    machine.run(max_instructions)
+    return machine
+
+
+class TestALU:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 7, 5, 12),
+        ("sub", 7, 5, 2),
+        ("mul", 7, 5, 35),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("shl", 3, 4, 48),
+        ("shr", 48, 4, 3),
+        ("cmplt", 3, 4, 1),
+        ("cmplt", 4, 3, 0),
+        ("cmpeq", 5, 5, 1),
+        ("cmpeq", 5, 6, 0),
+    ])
+    def test_register_register(self, op, a, b, expected):
+        machine = run(f"""
+        ldi r1, {a}
+        ldi r2, {b}
+        {op} r3, r1, r2
+        halt
+        """)
+        assert machine.read_register(3) == expected
+
+    def test_arithmetic_wraps_to_64_bits(self):
+        machine = run(f"""
+        ldi r1, {WORD_MASK}
+        addi r1, r1, 1
+        halt
+        """)
+        assert machine.read_register(1) == 0
+
+    def test_sub_wraps_under_zero(self):
+        machine = run("""
+        ldi r1, 0
+        addi r1, r1, -1
+        halt
+        """)
+        assert machine.read_register(1) == WORD_MASK
+
+    def test_immediates(self):
+        machine = run("""
+        ldi r1, 10
+        addi r2, r1, 5
+        muli r3, r1, 3
+        andi r4, r1, 2
+        xori r5, r1, 0xFF
+        halt
+        """)
+        assert machine.read_register(2) == 15
+        assert machine.read_register(3) == 30
+        assert machine.read_register(4) == 2
+        assert machine.read_register(5) == 10 ^ 0xFF
+
+    def test_shift_amount_masked_to_six_bits(self):
+        machine = run("""
+        ldi r1, 1
+        ldi r2, 65
+        shl r3, r1, r2
+        halt
+        """)
+        assert machine.read_register(3) == 2  # 65 & 63 == 1
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        machine = run("""
+        ldi r1, 0x2000
+        ldi r2, 99
+        st r2, r1, 0
+        ld r3, r1, 0
+        halt
+        """)
+        assert machine.read_register(3) == 99
+        assert machine.state.loads == 1
+        assert machine.state.stores == 1
+
+    def test_displacement_addressing(self):
+        machine = run("""
+        .data arr 10, 20, 30
+        ldi r1, arr
+        ld r2, r1, 2
+        halt
+        """)
+        assert machine.read_register(2) == 30
+
+    def test_unwritten_memory_reads_zero(self):
+        machine = run("""
+        ldi r1, 0x9999
+        ld r2, r1, 0
+        halt
+        """)
+        assert machine.read_register(2) == 0
+
+    def test_initial_data_image_loaded(self):
+        machine = Machine(assemble(".data arr 42\nhalt"))
+        address = machine.program.address_of("arr")
+        assert machine.memory.load(address) == 42
+
+
+class TestControlFlow:
+    def test_conditional_taken_and_fallthrough(self):
+        machine = run("""
+        ldi r1, 0
+        beqz r1, taken
+        ldi r2, 111
+        halt
+        taken: ldi r2, 222
+        halt
+        """)
+        assert machine.read_register(2) == 222
+
+    def test_loop_counts(self):
+        machine = run("""
+        ldi r1, 5
+        ldi r2, 0
+        loop: beqz r1, done
+        addi r2, r2, 10
+        addi r1, r1, -1
+        br loop
+        done: halt
+        """)
+        assert machine.read_register(2) == 50
+
+    def test_indirect_jump_through_register(self):
+        machine = run("""
+        ldi r1, target
+        jr r1
+        ldi r2, 1
+        target: ldi r2, 7
+        halt
+        """)
+        assert machine.read_register(2) == 7
+
+    def test_call_and_ret(self):
+        machine = run("""
+        call sub
+        ldi r2, 5
+        halt
+        sub: ldi r1, 9
+        ret
+        """)
+        assert machine.read_register(1) == 9
+        assert machine.read_register(2) == 5
+
+    def test_branch_statistics(self):
+        machine = run("""
+        ldi r1, 1
+        bnez r1, over
+        nop
+        over: beqz r1, never
+        halt
+        never: halt
+        """)
+        assert machine.state.branches == 2
+        assert machine.state.taken_branches == 1
+
+
+class TestHooksAndFaults:
+    def test_load_hook_sees_pc_address_value(self):
+        machine = Machine(assemble("""
+        .data arr 77
+        ldi r1, arr
+        ld r2, r1, 0
+        halt
+        """))
+        observed = []
+        machine.load_hooks.append(
+            lambda pc, address, value: observed.append(
+                (pc, address, value)))
+        machine.run()
+        (event,) = observed
+        assert event[1] == machine.program.address_of("arr")
+        assert event[2] == 77
+
+    def test_branch_hook_sees_direction(self):
+        machine = Machine(assemble("""
+        ldi r1, 1
+        beqz r1, skip
+        skip: halt
+        """))
+        observed = []
+        machine.branch_hooks.append(
+            lambda pc, target, taken: observed.append(taken))
+        machine.run()
+        assert observed == [False]  # fall-through
+
+    def test_fetch_fault_on_bad_jump(self):
+        machine = Machine(assemble("ldi r1, 4\njr r1\nhalt"))
+        with pytest.raises(MachineFault, match="fetch fault"):
+            machine.run()
+
+    def test_instruction_budget_stops_runaway(self):
+        machine = Machine(assemble("loop: br loop"))
+        state = machine.run(max_instructions=50)
+        assert state.instructions == 50
+        assert not state.halted
+
+    def test_step_after_halt_is_noop(self):
+        machine = Machine(assemble("halt"))
+        machine.run()
+        assert not machine.step()
+        assert machine.state.instructions == 1
+
+    def test_rejects_bad_budget(self):
+        machine = Machine(assemble("halt"))
+        with pytest.raises(ValueError):
+            machine.run(max_instructions=0)

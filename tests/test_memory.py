@@ -1,0 +1,62 @@
+"""Tests for sparse memory (repro.simulator.memory)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulator.isa import WORD_MASK
+from repro.simulator.memory import Memory
+
+
+class TestMemory:
+    def test_unwritten_reads_zero(self):
+        assert Memory().load(12345) == 0
+
+    def test_store_load_roundtrip(self):
+        memory = Memory()
+        memory.store(10, 99)
+        assert memory.load(10) == 99
+
+    def test_values_masked_to_word(self):
+        memory = Memory()
+        memory.store(0, 1 << 70)
+        assert memory.load(0) == (1 << 70) & WORD_MASK
+
+    def test_block_operations(self):
+        memory = Memory()
+        memory.store_block(100, [1, 2, 3])
+        assert memory.load_block(100, 4) == [1, 2, 3, 0]
+
+    def test_negative_address_rejected(self):
+        memory = Memory()
+        with pytest.raises(ValueError):
+            memory.load(-1)
+        with pytest.raises(ValueError):
+            memory.store(-1, 0)
+
+    def test_footprint_and_clear(self):
+        memory = Memory()
+        memory.store(1, 1)
+        memory.store(1, 2)  # overwrite, same word
+        memory.store(2, 3)
+        assert memory.footprint() == 2
+        memory.clear()
+        assert memory.footprint() == 0
+        assert memory.load(1) == 0
+
+    def test_written_words_sorted(self):
+        memory = Memory()
+        memory.store(5, 50)
+        memory.store(2, 20)
+        assert memory.written_words() == ((2, 20), (5, 50))
+
+    @given(st.dictionaries(st.integers(min_value=0, max_value=10 ** 9),
+                           st.integers(min_value=0, max_value=WORD_MASK),
+                           max_size=50))
+    def test_acts_like_a_dict_with_zero_default(self, writes):
+        memory = Memory()
+        for address, value in writes.items():
+            memory.store(address, value)
+        for address, value in writes.items():
+            assert memory.load(address) == value
+        assert memory.footprint() == len(writes)

@@ -1,0 +1,99 @@
+"""Tests for the Figure 3 classification (repro.metrics.classification)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.base import IntervalProfile
+from repro.metrics.classification import (Category, by_category,
+                                          classify_candidate,
+                                          classify_interval,
+                                          classify_interval_with_truth)
+
+T = 10  # threshold used throughout
+
+
+class TestClassifyCandidate:
+    def test_false_positive(self):
+        assert classify_candidate(3, 12, T) is Category.FALSE_POSITIVE
+
+    def test_false_negative(self):
+        assert classify_candidate(15, 0, T) is Category.FALSE_NEGATIVE
+
+    def test_neutral_positive(self):
+        assert classify_candidate(12, 20, T) is Category.NEUTRAL_POSITIVE
+
+    def test_neutral_negative(self):
+        assert classify_candidate(20, 12, T) is Category.NEUTRAL_NEGATIVE
+
+    def test_exact_agreement(self):
+        assert classify_candidate(15, 15, T) is Category.EXACT
+
+    def test_dont_care_rejected(self):
+        with pytest.raises(ValueError):
+            classify_candidate(3, 4, T)
+
+    def test_boundary_at_threshold_is_in(self):
+        # f == T counts as "in" ("greater than or equal", Section 5.1).
+        assert classify_candidate(T, 0, T) is Category.FALSE_NEGATIVE
+        assert classify_candidate(0, T, T) is Category.FALSE_POSITIVE
+
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=1000))
+    def test_total_function_above_threshold(self, fp, fh):
+        if fp < T and fh < T:
+            return  # don't-care quadrant
+        category = classify_candidate(fp, fh, T)
+        assert isinstance(category, Category)
+
+
+class TestClassifyInterval:
+    def _profile(self, candidates, index=0):
+        return IntervalProfile(index=index, candidates=candidates,
+                               events_observed=100)
+
+    def test_uses_true_subthreshold_counts_for_false_positives(self):
+        truth = {(1, 1): 15, (2, 2): 7}
+        hardware = self._profile({(1, 1): 15, (2, 2): 12})
+        classified = classify_interval_with_truth(truth, hardware, T)
+        false_positive = next(c for c in classified
+                              if c.event == (2, 2))
+        assert false_positive.category is Category.FALSE_POSITIVE
+        assert false_positive.perfect_frequency == 7
+        assert false_positive.absolute_error == 5
+
+    def test_universe_is_union_of_candidates(self):
+        truth = {(1, 1): 15, (3, 3): 20, (4, 4): 2}
+        hardware = self._profile({(1, 1): 15, (2, 2): 11})
+        classified = classify_interval_with_truth(truth, hardware, T)
+        events = {c.event for c in classified}
+        # (4,4) is below threshold in both -> don't care, excluded.
+        assert events == {(1, 1), (2, 2), (3, 3)}
+
+    def test_missing_hardware_tuple_scores_zero(self):
+        truth = {(1, 1): 15}
+        hardware = self._profile({})
+        (candidate,) = classify_interval_with_truth(truth, hardware, T)
+        assert candidate.hardware_frequency == 0
+        assert candidate.category is Category.FALSE_NEGATIVE
+
+    def test_classify_interval_from_reports_alone(self):
+        perfect = self._profile({(1, 1): 15})
+        hardware = self._profile({(1, 1): 14, (9, 9): 11})
+        classified = classify_interval(perfect, hardware, T)
+        categories = {c.event: c.category for c in classified}
+        assert categories[(1, 1)] is Category.NEUTRAL_NEGATIVE
+        assert categories[(9, 9)] is Category.FALSE_POSITIVE
+
+
+class TestByCategory:
+    def test_groups_cover_all_inputs(self):
+        truth = {(1, 1): 15, (2, 2): 20}
+        hardware = IntervalProfile(index=0,
+                                   candidates={(1, 1): 15, (2, 2): 25},
+                                   events_observed=100)
+        groups = by_category(
+            classify_interval_with_truth(truth, hardware, T))
+        assert len(groups[Category.EXACT]) == 1
+        assert len(groups[Category.NEUTRAL_POSITIVE]) == 1
+        assert sum(len(v) for v in groups.values()) == 2

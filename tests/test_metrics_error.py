@@ -1,0 +1,113 @@
+"""Tests for formula (1) and its aggregation (repro.metrics.error)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.base import IntervalProfile
+from repro.metrics.classification import Category
+from repro.metrics.error import ErrorSummary, interval_error, summarize
+
+T = 10
+
+
+def profile(candidates, index=0):
+    return IntervalProfile(index=index, candidates=candidates,
+                           events_observed=100)
+
+
+class TestIntervalError:
+    def test_perfect_profile_has_zero_error(self):
+        truth = {(1, 1): 50, (2, 2): 30}
+        error = interval_error(truth, profile(dict(truth)), T)
+        assert error.total == 0.0
+
+    def test_formula_matches_hand_computation(self):
+        # Candidates: (1,1) fp=50 fh=40; (2,2) fp=30 fh=30; FP (3,3)
+        # fp=4 fh=12.  E = (10 + 0 + 8) / (50 + 30 + 4).
+        truth = {(1, 1): 50, (2, 2): 30, (3, 3): 4}
+        hardware = profile({(1, 1): 40, (2, 2): 30, (3, 3): 12})
+        error = interval_error(truth, hardware, T)
+        assert error.total == pytest.approx(18 / 84)
+
+    def test_categories_sum_to_total(self):
+        truth = {(1, 1): 50, (2, 2): 30, (3, 3): 4, (4, 4): 15}
+        hardware = profile({(1, 1): 70, (2, 2): 20, (3, 3): 12})
+        error = interval_error(truth, hardware, T)
+        assert sum(error.category_error.values()) == pytest.approx(
+            error.total)
+
+    def test_false_positives_can_exceed_100_percent(self):
+        # Heavy aliasing: tiny true mass, large phantom counts -- the
+        # regime of Figure 7's right panel (errors up to ~180 %).
+        truth = {(1, 1): 12, (2, 2): 1, (3, 3): 1}
+        hardware = profile({(1, 1): 12, (2, 2): 40, (3, 3): 40})
+        error = interval_error(truth, hardware, T)
+        assert error.total > 1.0
+
+    def test_empty_interval_scores_zero(self):
+        error = interval_error({}, profile({}), T)
+        assert error.total == 0.0
+        assert error.perfect_mass == 0
+
+    def test_false_negative_uses_zero_hardware_frequency(self):
+        truth = {(1, 1): 40}
+        error = interval_error(truth, profile({}), T)
+        assert error.total == pytest.approx(1.0)
+        assert error.error_of(Category.FALSE_NEGATIVE) == pytest.approx(1.0)
+
+    @given(st.dictionaries(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)),
+        st.integers(min_value=T, max_value=500), max_size=20))
+    def test_error_nonnegative_and_zero_iff_exact(self, truth):
+        error = interval_error(dict(truth), profile(dict(truth)), T)
+        assert error.total == 0.0
+        dropped = dict(truth)
+        if dropped:
+            dropped.pop(next(iter(dropped)))
+            error = interval_error(dict(truth), profile(dropped), T)
+            assert error.total > 0.0
+
+
+class TestErrorSummary:
+    def _summary(self, totals):
+        summary = ErrorSummary()
+        for index, (truth, hardware) in enumerate(totals):
+            summary.add(interval_error(truth, profile(hardware, index), T))
+        return summary
+
+    def test_net_error_is_simple_average(self):
+        summary = self._summary([
+            ({(1, 1): 20}, {(1, 1): 20}),   # 0.0
+            ({(1, 1): 20}, {}),             # 1.0
+        ])
+        assert summary.total_error == pytest.approx(0.5)
+        assert summary.percent() == pytest.approx(50.0)
+
+    def test_series_in_interval_order(self):
+        summary = self._summary([
+            ({(1, 1): 20}, {(1, 1): 20}),
+            ({(1, 1): 20}, {}),
+        ])
+        assert summary.series() == [0.0, 1.0]
+
+    def test_breakdown_keys(self):
+        summary = self._summary([({(1, 1): 20}, {})])
+        breakdown = summary.breakdown_percent()
+        assert set(breakdown) == {"false_positive", "false_negative",
+                                  "neutral_positive", "neutral_negative"}
+        assert breakdown["false_negative"] == pytest.approx(100.0)
+
+    def test_category_candidates_counted(self):
+        summary = self._summary([({(1, 1): 20}, {}),
+                                 ({(2, 2): 20}, {})])
+        assert summary.category_candidates(Category.FALSE_NEGATIVE) == 2
+
+    def test_empty_summary(self):
+        summary = ErrorSummary()
+        assert summary.total_error == 0.0
+        assert summary.series() == []
+
+    def test_summarize_collects(self):
+        errors = [interval_error({(1, 1): 20}, profile({}), T)]
+        assert summarize(errors).num_intervals == 1

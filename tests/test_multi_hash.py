@@ -1,0 +1,159 @@
+"""Behavioural tests for the multi-hash profiler (Section 6)."""
+
+import pytest
+
+from repro.core.config import IntervalSpec, ProfilerConfig
+from repro.core.multi_hash import MultiHashProfiler, build_profiler
+from repro.core.single_hash import SingleHashProfiler
+
+SPEC = IntervalSpec(length=1_000, threshold=0.01)  # threshold_count 10
+
+
+def config(**overrides) -> ProfilerConfig:
+    base = dict(interval=SPEC, total_entries=256, num_tables=4,
+                retaining=False, resetting=False,
+                conservative_update=False)
+    base.update(overrides)
+    return ProfilerConfig(**base)
+
+
+def feed(profiler, event, times):
+    for _ in range(times):
+        profiler.observe(event)
+
+
+class TestPromotionRequiresAllTables:
+    def test_candidate_promoted_when_all_counters_cross(self):
+        profiler = MultiHashProfiler(config())
+        feed(profiler, (1, 1), 10)
+        assert (1, 1) in profiler.accumulator
+
+    def test_one_lagging_counter_blocks_promotion(self):
+        profiler = MultiHashProfiler(config())
+        # Pre-load 3 of the 4 counters of (1,1) via direct table writes
+        # to simulate heavy aliasing in 3 tables.
+        indices = [f((1, 1)) for f in profiler.hash_functions]
+        for t in range(3):
+            for _ in range(9):
+                profiler.tables[t].increment(indices[t])
+        feed(profiler, (1, 1), 5)
+        # Tables 0-2 are way over threshold, table 3 holds only 5.
+        assert (1, 1) not in profiler.accumulator
+        feed(profiler, (1, 1), 5)
+        assert (1, 1) in profiler.accumulator
+
+
+class TestConservativeUpdate:
+    def test_only_minimum_counters_incremented(self):
+        profiler = MultiHashProfiler(config(conservative_update=True))
+        indices = [f((1, 1)) for f in profiler.hash_functions]
+        # Inflate table 0's counter artificially (aliasing).
+        profiler.tables[0].increment(indices[0], amount=5)
+        profiler.observe((1, 1))
+        assert profiler.tables[0].read(indices[0]) == 5  # untouched
+        assert profiler.tables[1].read(indices[1]) == 1
+
+    def test_ties_all_increment(self):
+        profiler = MultiHashProfiler(config(conservative_update=True))
+        indices = [f((1, 1)) for f in profiler.hash_functions]
+        profiler.observe((1, 1))
+        for t, index in enumerate(indices):
+            assert profiler.tables[t].read(index) == 1
+
+    def test_estimate_is_count_min(self):
+        profiler = MultiHashProfiler(config(conservative_update=True))
+        feed(profiler, (1, 1), 7)
+        assert profiler.estimate((1, 1)) == 7
+
+    def test_exact_when_no_aliasing(self):
+        profiler = MultiHashProfiler(config(conservative_update=True))
+        feed(profiler, (1, 1), 9)
+        feed(profiler, (2, 2), 4)
+        assert profiler.estimate((1, 1)) in (9, 10, 13)  # >= true count
+        assert profiler.estimate((1, 1)) >= 9
+        assert profiler.estimate((2, 2)) >= 4
+
+
+class TestResetting:
+    def test_reset_clears_all_tables(self):
+        profiler = MultiHashProfiler(config(resetting=True))
+        feed(profiler, (1, 1), 10)
+        indices = [f((1, 1)) for f in profiler.hash_functions]
+        for t, index in enumerate(indices):
+            assert profiler.tables[t].read(index) == 0
+
+    def test_no_reset_leaves_counters(self):
+        profiler = MultiHashProfiler(config(resetting=False))
+        feed(profiler, (1, 1), 10)
+        indices = [f((1, 1)) for f in profiler.hash_functions]
+        assert all(profiler.tables[t].read(i) >= 10
+                   for t, i in enumerate(indices))
+
+
+class TestIntervalMechanics:
+    def test_all_tables_flushed_at_interval_end(self):
+        profiler = MultiHashProfiler(config())
+        feed(profiler, (1, 1), 9)
+        profiler.end_interval()
+        assert all(table.occupancy() == 0 for table in profiler.tables)
+
+    def test_reported_counts_exact_without_aliasing(self):
+        profiler = MultiHashProfiler(config(conservative_update=True))
+        feed(profiler, (1, 1), 42)
+        profile = profiler.end_interval()
+        assert profile.candidates == {(1, 1): 42}
+
+
+class TestConstruction:
+    def test_hash_function_count_must_match(self):
+        from repro.core.hashing import HashFunctionFamily
+
+        family = HashFunctionFamily(6, seed=1)  # 64-entry tables
+        with pytest.raises(ValueError):
+            MultiHashProfiler(config(), hash_functions=family.take(2))
+
+    def test_table_width_must_match(self):
+        from repro.core.hashing import HashFunctionFamily
+
+        family = HashFunctionFamily(4, seed=1)  # wrong width
+        with pytest.raises(ValueError):
+            MultiHashProfiler(config(), hash_functions=family.take(4))
+
+    def test_build_profiler_dispatches(self):
+        assert isinstance(build_profiler(config(num_tables=1)),
+                          SingleHashProfiler)
+        assert isinstance(build_profiler(config()), MultiHashProfiler)
+        # One table *with* conservative update stays a MultiHashProfiler
+        # (C1 is a no-op there but the request is honoured).
+        assert isinstance(
+            build_profiler(config(num_tables=1,
+                                  conservative_update=True)),
+            MultiHashProfiler)
+
+
+class TestSingleTableDegeneracy:
+    def test_one_table_matches_single_hash_without_aliasing(self):
+        """MH with one table behaves like the single-hash architecture
+        while no aliasing occurs.
+
+        The architectures differ deliberately under aliasing: the
+        single hash promotes any event finding its counter at or above
+        threshold (hence the resetting optimization, Section 5.4.2),
+        while the multi-hash promotes only on the threshold *crossing*
+        (Section 6.1).  On an alias-free stream both reduce to exact
+        counting and must agree.
+        """
+        import random
+
+        rng = random.Random(9)
+        hot = [(i, i * 3) for i in range(12)]
+        stream = [hot[rng.randrange(len(hot))] for _ in range(3_000)]
+        for resetting in (False, True):
+            single = SingleHashProfiler(
+                config(num_tables=1, resetting=resetting))
+            multi = MultiHashProfiler(
+                config(num_tables=1, resetting=resetting))
+            single_profiles = single.run(iter(stream))
+            multi_profiles = multi.run(iter(stream))
+            assert [p.candidates for p in single_profiles] == \
+                   [p.candidates for p in multi_profiles]

@@ -1,0 +1,94 @@
+"""Tests for online interval adaptation (repro.profiling.online_adaptive)."""
+
+import pytest
+
+from repro.core.config import IntervalSpec, ProfilerConfig
+from repro.core.tuples import EventKind
+from repro.profiling.online_adaptive import (AdaptivePolicy,
+                                             OnlineAdaptiveProfiler)
+from repro.workloads.generators import (HotBand, StreamModel,
+                                        TupleStreamGenerator)
+
+
+def config(length=2_000) -> ProfilerConfig:
+    return ProfilerConfig(interval=IntervalSpec(length, 0.01),
+                          total_entries=256, num_tables=4,
+                          conservative_update=True)
+
+
+def policy(**overrides) -> AdaptivePolicy:
+    base = dict(min_length=1_000, max_length=32_000,
+                grow_threshold=40.0, shrink_threshold=10.0,
+                stable_intervals_to_shrink=2, scale_factor=4)
+    base.update(overrides)
+    return AdaptivePolicy(**base)
+
+
+def stream(num_phases=1, phase_length=10 ** 9, burstiness=0.0, seed=31):
+    model = StreamModel(
+        name="adaptive-test", kind=EventKind.VALUE,
+        bands=(HotBand(count=12, top_share=0.07, bottom_share=0.02),),
+        recurring_mass=0.2, recurring_pool=100,
+        num_phases=num_phases, phase_length=phase_length,
+        phase_overlap=0.0, burstiness=burstiness, seed=seed)
+    return TupleStreamGenerator(model)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(min_length=0),
+        dict(min_length=5_000, max_length=1_000),
+        dict(grow_threshold=5.0, shrink_threshold=10.0),
+        dict(scale_factor=1),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            policy(**kwargs)
+
+
+class TestAdaptation:
+    def test_stable_stream_shrinks_to_floor(self):
+        adaptive = OnlineAdaptiveProfiler(config(length=16_000),
+                                          policy())
+        adaptive.run(stream().events(140_000))
+        assert adaptive.current_length == 1_000
+        assert all(event.new_length < event.old_length
+                   for event in adaptive.adaptations)
+
+    def test_churning_stream_grows(self):
+        # Phase change every 2K events with zero overlap: at a 1K
+        # interval the candidate set flips constantly.
+        adaptive = OnlineAdaptiveProfiler(
+            config(length=1_000),
+            policy(stable_intervals_to_shrink=100))
+        adaptive.run(stream(num_phases=8,
+                            phase_length=2_000).events(60_000))
+        assert adaptive.current_length > 1_000
+        assert adaptive.adaptations
+        assert adaptive.adaptations[0].new_length > \
+            adaptive.adaptations[0].old_length
+
+    def test_length_respects_bounds(self):
+        adaptive = OnlineAdaptiveProfiler(
+            config(length=1_000),
+            policy(max_length=4_000, stable_intervals_to_shrink=100))
+        adaptive.run(stream(num_phases=8,
+                            phase_length=2_000).events(80_000))
+        assert adaptive.current_length <= 4_000
+
+    def test_profiles_collected_across_resizes(self):
+        adaptive = OnlineAdaptiveProfiler(config(length=2_000), policy())
+        profiles = adaptive.run(stream().events(40_000))
+        assert profiles
+        assert sum(p.events_observed for p in profiles) <= 40_000
+
+    def test_max_intervals_stops(self):
+        adaptive = OnlineAdaptiveProfiler(config(length=1_000), policy())
+        profiles = adaptive.run(stream().events(100_000),
+                                max_intervals=3)
+        assert len(profiles) == 3
+
+    def test_threshold_fraction_preserved(self):
+        adaptive = OnlineAdaptiveProfiler(config(length=16_000), policy())
+        adaptive.run(stream().events(140_000))
+        assert adaptive.profiler.interval.threshold == 0.01

@@ -1,0 +1,57 @@
+"""Tests for the oracle profiler (repro.core.perfect)."""
+
+from repro.core.config import IntervalSpec
+from repro.core.perfect import PerfectProfiler
+
+SPEC = IntervalSpec(length=100, threshold=0.05)  # threshold_count 5
+
+
+class TestPerfectProfiler:
+    def test_reports_exact_candidates(self):
+        profiler = PerfectProfiler(SPEC)
+        stream = [(1, 1)] * 10 + [(2, 2)] * 4 + [(3, 3)] * 5
+        for event in stream:
+            profiler.observe(event)
+        profile = profiler.end_interval()
+        assert profile.candidates == {(1, 1): 10, (3, 3): 5}
+
+    def test_interval_counts_snapshot(self):
+        profiler = PerfectProfiler(SPEC)
+        for event in [(1, 1), (1, 1), (2, 2)]:
+            profiler.observe(event)
+        assert profiler.interval_counts() == {(1, 1): 2, (2, 2): 1}
+        # Snapshot is a copy: mutating it cannot corrupt the profiler.
+        profiler.interval_counts()[(9, 9)] = 99
+        assert (9, 9) not in profiler.interval_counts()
+
+    def test_counts_reset_between_intervals(self):
+        profiler = PerfectProfiler(SPEC)
+        for _ in range(5):
+            profiler.observe((1, 1))
+        profiler.end_interval()
+        for _ in range(4):
+            profiler.observe((1, 1))
+        profile = profiler.end_interval()
+        assert profile.candidates == {}
+
+    def test_distinct_history(self):
+        profiler = PerfectProfiler(SPEC)
+        for event in [(1, 1), (2, 2), (1, 1)]:
+            profiler.observe(event)
+        profiler.end_interval()
+        for event in [(3, 3)]:
+            profiler.observe(event)
+        profiler.end_interval()
+        assert profiler.distinct_history == [2, 1]
+
+    def test_interval_indices_advance(self):
+        profiler = PerfectProfiler(SPEC)
+        first = profiler.end_interval()
+        second = profiler.end_interval()
+        assert (first.index, second.index) == (0, 1)
+
+    def test_events_observed_recorded(self):
+        profiler = PerfectProfiler(SPEC)
+        for _ in range(7):
+            profiler.observe((1, 1))
+        assert profiler.end_interval().events_observed == 7

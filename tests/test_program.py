@@ -1,0 +1,72 @@
+"""Tests for the program container (repro.simulator.program)."""
+
+import pytest
+
+from repro.simulator.isa import INSTRUCTION_BYTES, Instruction, Opcode
+from repro.simulator.program import Program
+
+
+def program(count=3, base=0x1000) -> Program:
+    return Program(instructions=[Instruction(Opcode.NOP)] * count,
+                   code_base=base)
+
+
+class TestLayout:
+    def test_entry_point_is_code_base(self):
+        assert program(base=0x2000).entry_point == 0x2000
+
+    def test_pc_of_spacing(self):
+        p = program()
+        assert p.pc_of(1) - p.pc_of(0) == INSTRUCTION_BYTES
+
+    def test_end_pc(self):
+        p = program(count=3)
+        assert p.end_pc == p.code_base + 3 * INSTRUCTION_BYTES
+
+    def test_pc_of_range_checked(self):
+        with pytest.raises(IndexError):
+            program(count=3).pc_of(3)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            Program(instructions=[])
+
+
+class TestFetch:
+    def test_fetch_decodes(self):
+        p = Program(instructions=[Instruction(Opcode.HALT)])
+        assert p.fetch(p.entry_point).opcode is Opcode.HALT
+
+    def test_fetch_outside_segment_faults(self):
+        p = program(count=2)
+        with pytest.raises(ValueError, match="outside code segment"):
+            p.fetch(p.end_pc)
+        with pytest.raises(ValueError, match="outside code segment"):
+            p.fetch(p.code_base - INSTRUCTION_BYTES)
+
+    def test_fetch_misaligned_faults(self):
+        p = program(count=2)
+        with pytest.raises(ValueError, match="misaligned"):
+            p.fetch(p.code_base + 1)
+
+
+class TestSymbols:
+    def test_address_of_known(self):
+        p = Program(instructions=[Instruction(Opcode.NOP)],
+                    symbols={"main": 0x1000})
+        assert p.address_of("main") == 0x1000
+
+    def test_address_of_unknown_lists_known(self):
+        p = Program(instructions=[Instruction(Opcode.NOP)],
+                    symbols={"main": 0x1000})
+        with pytest.raises(KeyError, match="main"):
+            p.address_of("zzz")
+
+    def test_listing_contains_every_instruction(self):
+        p = Program(instructions=[Instruction(Opcode.NOP),
+                                  Instruction(Opcode.HALT)],
+                    symbols={"main": 0x1000})
+        listing = p.listing()
+        assert listing.count("\n") >= 2
+        assert "nop" in listing and "halt" in listing
+        assert "main:" in listing

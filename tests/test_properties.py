@@ -1,0 +1,117 @@
+"""Cross-cutting property tests over the core invariants.
+
+These complement the per-module suites with randomized invariants that
+hold for *any* stream or configuration:
+
+* a profiler's reported candidate count never exceeds the accumulator
+  bound;
+* the perfect profiler is a fixed point of the error metric;
+* multi-hash false negatives are impossible without resetting when
+  every tuple is observed exactly (no aliasing);
+* generated streams conserve probability mass.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import IntervalSpec, ProfilerConfig
+from repro.core.multi_hash import MultiHashProfiler
+from repro.core.perfect import PerfectProfiler
+from repro.core.tuples import EventKind
+from repro.metrics.error import interval_error
+from repro.workloads.generators import (HotBand, StreamModel,
+                                        TupleStreamGenerator)
+
+SPEC = IntervalSpec(length=300, threshold=0.02)  # threshold 6, bound 50
+
+EVENTS = st.lists(st.tuples(st.integers(0, 60), st.integers(0, 4)),
+                  min_size=1, max_size=900)
+
+
+@given(EVENTS, st.integers(min_value=4, max_value=10).map(lambda n: 2 ** n))
+@settings(max_examples=30, deadline=None)
+def test_reported_candidates_never_exceed_accumulator_bound(events,
+                                                            entries):
+    config = ProfilerConfig(interval=SPEC, total_entries=entries,
+                            num_tables=min(4, entries),
+                            conservative_update=True)
+    profiler = MultiHashProfiler(config)
+    for profile in profiler.run(iter(events)):
+        assert len(profile) <= config.accumulator_capacity
+
+
+@given(EVENTS)
+@settings(max_examples=30, deadline=None)
+def test_perfect_profiler_is_error_fixed_point(events):
+    perfect = PerfectProfiler(SPEC)
+    pending = []
+    for event in events:
+        perfect.observe(event)
+        pending.append(event)
+        if len(pending) == SPEC.length:
+            truth = perfect.interval_counts()
+            profile = perfect.end_interval()
+            error = interval_error(truth, profile, SPEC.threshold_count)
+            assert error.total == 0.0
+            pending.clear()
+
+
+@given(st.dictionaries(st.tuples(st.integers(0, 30), st.integers(0, 3)),
+                       st.integers(min_value=1, max_value=40),
+                       min_size=1, max_size=25))
+@settings(max_examples=30, deadline=None)
+def test_no_false_negatives_without_reset_or_aliasing_pressure(counts):
+    """With R0 and a table large enough that counters only ever grow,
+    every true candidate must be reported (multi-hash FNs need either
+    resetting or an alias-driven jump over the threshold, and with a
+    4096-counter table over <=25 tuples, jumps cannot push a minimum
+    past the threshold between a tuple's own occurrences ... unless
+    two tuples fully collide in all tables, which the assertion below
+    tolerates by checking against the sketch estimate)."""
+    config = ProfilerConfig(interval=IntervalSpec(2_000, 0.005),
+                            total_entries=4096, num_tables=4,
+                            conservative_update=True)
+    profiler = MultiHashProfiler(config)
+    stream = [event for event, count in counts.items()
+              for _ in range(count)]
+    for event in stream:
+        profiler.observe(event)
+    profile = profiler.end_interval()
+    threshold = config.interval.threshold_count
+    for event, count in counts.items():
+        if count >= threshold:
+            assert event in profile.candidates
+
+
+@given(st.floats(min_value=0.02, max_value=0.2),
+       st.floats(min_value=0.0, max_value=0.5),
+       st.integers(min_value=1, max_value=10 ** 6))
+@settings(max_examples=20, deadline=None)
+def test_generated_streams_conserve_mass(top_share, recurring_mass, seed):
+    from hypothesis import assume
+
+    bands = (HotBand(count=5, top_share=top_share,
+                     bottom_share=top_share / 4),)
+    # Overcommitted masses are (correctly) rejected at construction;
+    # the conservation property only concerns valid models.
+    assume(sum(band.mass for band in bands) + recurring_mass < 0.99)
+    model = StreamModel(
+        name="property", kind=EventKind.VALUE,
+        bands=bands, recurring_mass=recurring_mass,
+        recurring_pool=50, seed=seed)
+    generator = TupleStreamGenerator(model)
+    pcs, values = generator.chunk(4_000)
+    assert len(pcs) == len(values) == 4_000
+    # Every event belongs to exactly one population (PC bases disjoint).
+    from repro.workloads.generators import (FRESH_PC_BASE, HOT_PC_BASE,
+                                            RECURRING_PC_BASE)
+
+    hot = int(((pcs >= HOT_PC_BASE) & (pcs < RECURRING_PC_BASE)).sum())
+    recurring = int(((pcs >= RECURRING_PC_BASE)
+                     & (pcs < FRESH_PC_BASE)).sum())
+    fresh = int((pcs >= FRESH_PC_BASE).sum())
+    assert hot + recurring + fresh == 4_000
+    assert hot / 4_000 == pytest.approx(model.hot_mass, abs=0.05)
+    assert fresh / 4_000 == pytest.approx(model.fresh_mass, abs=0.05)

@@ -1,0 +1,72 @@
+"""Tests for report formatting (repro.metrics.reports)."""
+
+import pytest
+
+from repro.core.base import IntervalProfile
+from repro.metrics.error import ErrorSummary, interval_error
+from repro.metrics.reports import (breakdown_headers, breakdown_row,
+                                   error_breakdown_table, format_table,
+                                   percent, series_table)
+
+
+class TestFormatTable:
+    def test_renders_aligned_columns(self):
+        table = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "2.50" in lines[3]
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_numbers_right_aligned_strings_left(self):
+        table = format_table(["s", "n"], [["x", 123456]])
+        header, rule, row = table.splitlines()
+        assert row.startswith("x")
+        assert row.rstrip().endswith("123456")
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestBreakdownHelpers:
+    def _summary(self):
+        truth = {(1, 1): 20}
+        hardware = IntervalProfile(index=0, candidates={},
+                                   events_observed=100)
+        summary = ErrorSummary()
+        summary.add(interval_error(truth, hardware, 10))
+        return summary
+
+    def test_breakdown_row_has_five_values(self):
+        row = breakdown_row(self._summary())
+        assert len(row) == 5
+        assert row[-1] == pytest.approx(100.0)  # total
+        assert row[1] == pytest.approx(100.0)   # FN column
+
+    def test_headers_align_with_row(self):
+        headers = breakdown_headers("config")
+        assert headers == ["config", "FP%", "FN%", "NP%", "NN%", "Total%"]
+
+    def test_error_breakdown_table(self):
+        table = error_breakdown_table({"cfg-a": self._summary()})
+        assert "cfg-a" in table
+        assert "FN%" in table
+
+
+class TestSeriesTable:
+    def test_pads_short_series(self):
+        table = series_table({"a": [0.1, 0.2], "b": [0.3]})
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "30.00" in lines[2]
+
+    def test_values_shown_in_percent(self):
+        table = series_table({"a": [0.5]})
+        assert "50.00" in table
+
+
+def test_percent():
+    assert percent(0.123) == pytest.approx(12.3)

@@ -1,0 +1,142 @@
+"""Tests for the profiling session driver (repro.profiling.session)."""
+
+import pytest
+
+from repro.core.config import IntervalSpec, ProfilerConfig, best_multi_hash
+from repro.core.perfect import PerfectProfiler
+from repro.core.stratified import StratifiedConfig, StratifiedSampler
+from repro.profiling.session import ProfilingSession, profile_stream
+from repro.workloads.benchmarks import benchmark_generator
+from repro.workloads.traces import record
+
+SPEC = IntervalSpec(length=500, threshold=0.01)  # threshold_count 5
+
+
+def small_config(**overrides):
+    base = dict(interval=SPEC, total_entries=128, num_tables=2,
+                conservative_update=True)
+    base.update(overrides)
+    return ProfilerConfig(**base)
+
+
+class TestConstruction:
+    def test_accepts_single_config(self):
+        session = ProfilingSession(small_config())
+        assert len(session.profilers) == 1
+
+    def test_accepts_profiler_instances(self):
+        sampler = StratifiedSampler(StratifiedConfig(interval=SPEC))
+        session = ProfilingSession([small_config(), sampler])
+        assert session.profilers[1] is sampler
+
+    def test_rejects_mixed_intervals(self):
+        other = IntervalSpec(length=600, threshold=0.01)
+        with pytest.raises(ValueError):
+            ProfilingSession([small_config(),
+                              small_config(interval=other)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ProfilingSession([])
+
+    def test_duplicate_names_disambiguated(self):
+        session = ProfilingSession([small_config(), small_config()])
+        names = list(session._names)
+        assert len(set(names)) == 2
+
+
+class TestPerEventPath:
+    def test_scores_each_interval(self):
+        stream = [(1, 1)] * 500 + [(2, 2)] * 500
+        result = ProfilingSession(small_config()).run(iter(stream))
+        assert result.summary.num_intervals == 2
+        assert result.summary.total_error == pytest.approx(0.0)
+
+    def test_partial_trailing_interval_discarded(self):
+        stream = [(1, 1)] * 750
+        result = ProfilingSession(small_config()).run(iter(stream))
+        assert result.summary.num_intervals == 1
+
+    def test_max_intervals_stops_early(self):
+        stream = [(1, 1)] * 2_000
+        result = ProfilingSession(small_config()).run(iter(stream),
+                                                      max_intervals=2)
+        assert result.summary.num_intervals == 2
+
+    def test_perfect_profiles_kept(self):
+        stream = [(1, 1)] * 500
+        result = ProfilingSession(small_config()).run(iter(stream))
+        assert result.perfect_profiles[0].candidates == {(1, 1): 500}
+        assert result.distinct_per_interval == [1]
+
+
+class TestChunkedPath:
+    def test_generator_requires_max_intervals(self):
+        generator = benchmark_generator("li")
+        with pytest.raises(ValueError):
+            ProfilingSession(small_config()).run(generator)
+
+    def test_trace_runs_whole_intervals(self):
+        generator = benchmark_generator("li")
+        trace = record(generator.events(1_250))
+        result = ProfilingSession(small_config()).run(trace)
+        assert result.summary.num_intervals == 2  # 1250 // 500
+
+    def test_matches_per_event_path(self):
+        """The vectorized path must agree with the reference
+        per-event path on identical events (modulo float summation
+        order)."""
+        generator = benchmark_generator("gcc")
+        trace = record(generator.events(2_500))
+        configs = [small_config(),
+                   small_config(num_tables=1, conservative_update=False,
+                                resetting=True),
+                   small_config(num_tables=4)]
+        fast = ProfilingSession(configs, keep_profiles=True).run(trace)
+        slow = ProfilingSession(configs, keep_profiles=True).run(
+            iter(trace.events()))
+        for name in fast.results:
+            fast_result = fast.results[name]
+            slow_result = slow.results[name]
+            assert [p.candidates for p in fast_result.profiles] == \
+                   [p.candidates for p in slow_result.profiles]
+            for a, b in zip(fast_result.summary.series(),
+                            slow_result.summary.series()):
+                assert a == pytest.approx(b)
+
+    def test_distinct_counts_match_perfect_profiler(self):
+        generator = benchmark_generator("li")
+        trace = record(generator.events(1_000))
+        result = ProfilingSession(small_config()).run(trace)
+        perfect = PerfectProfiler(SPEC)
+        perfect.run(iter(trace.events()))
+        assert result.distinct_per_interval == perfect.distinct_history
+
+    def test_stratified_supported_via_fallback(self):
+        sampler = StratifiedSampler(StratifiedConfig(
+            interval=SPEC, sampling_threshold=2))
+        generator = benchmark_generator("li")
+        trace = record(generator.events(1_000))
+        result = ProfilingSession([sampler]).run(trace)
+        assert result.summary.num_intervals == 2
+
+
+class TestSessionResult:
+    def test_single_raises_on_many(self):
+        stream = [(1, 1)] * 500
+        result = ProfilingSession(
+            [small_config(), small_config()]).run(iter(stream))
+        with pytest.raises(ValueError):
+            result.single()
+
+    def test_candidate_sets_for_variation(self):
+        stream = [(1, 1)] * 500 + [(2, 2)] * 500
+        result = ProfilingSession(small_config()).run(iter(stream))
+        assert result.candidate_sets == [{(1, 1)}, {(2, 2)}]
+        assert result.candidates_per_interval == [1, 1]
+
+
+def test_profile_stream_convenience():
+    stream = [(1, 1)] * 500
+    result = profile_stream(best_multi_hash(SPEC), iter(stream))
+    assert result.summary.total_error == pytest.approx(0.0)

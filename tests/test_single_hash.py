@@ -1,0 +1,157 @@
+"""Behavioural tests for the single-hash profiler (Section 5)."""
+
+import pytest
+
+from repro.core.config import IntervalSpec, ProfilerConfig
+from repro.core.single_hash import SingleHashProfiler
+
+SPEC = IntervalSpec(length=1_000, threshold=0.01)  # threshold_count 10
+
+
+def config(**overrides) -> ProfilerConfig:
+    base = dict(interval=SPEC, total_entries=256, num_tables=1,
+                retaining=False, resetting=False)
+    base.update(overrides)
+    return ProfilerConfig(**base)
+
+
+def feed(profiler, event, times):
+    for _ in range(times):
+        profiler.observe(event)
+
+
+class TestPromotion:
+    def test_candidate_promoted_at_threshold(self):
+        profiler = SingleHashProfiler(config())
+        feed(profiler, (1, 1), 10)
+        assert (1, 1) in profiler.accumulator
+        assert profiler.stats.promotions == 1
+
+    def test_below_threshold_not_promoted(self):
+        profiler = SingleHashProfiler(config())
+        feed(profiler, (1, 1), 9)
+        assert (1, 1) not in profiler.accumulator
+
+    def test_reported_frequency_counts_all_occurrences(self):
+        profiler = SingleHashProfiler(config())
+        feed(profiler, (1, 1), 60)
+        profile = profiler.end_interval()
+        # No aliasing: the reported count equals the true count.
+        assert profile.candidates == {(1, 1): 60}
+
+    def test_rejects_multi_table_config(self):
+        with pytest.raises(ValueError):
+            SingleHashProfiler(config(num_tables=2))
+
+
+class TestShielding:
+    def test_resident_tuple_stops_touching_hash_table(self):
+        profiler = SingleHashProfiler(config())
+        feed(profiler, (1, 1), 10)
+        updates_at_promotion = profiler.stats.hash_updates
+        feed(profiler, (1, 1), 50)
+        assert profiler.stats.hash_updates == updates_at_promotion
+        assert profiler.stats.accumulator_hits == 50
+
+    def test_shielding_off_keeps_feeding_table(self):
+        profiler = SingleHashProfiler(config(shielding=False))
+        feed(profiler, (1, 1), 20)
+        assert profiler.stats.hash_updates == 20
+
+
+class TestResetting:
+    def test_reset_clears_promoted_counter(self):
+        profiler = SingleHashProfiler(config(resetting=True))
+        feed(profiler, (1, 1), 10)
+        index = profiler.hash_function((1, 1))
+        assert profiler.table.read(index) == 0
+
+    def test_no_reset_leaves_counter_at_threshold(self):
+        profiler = SingleHashProfiler(config(resetting=False))
+        feed(profiler, (1, 1), 10)
+        index = profiler.hash_function((1, 1))
+        assert profiler.table.read(index) == 10
+
+    def test_no_reset_lets_aliases_piggyback(self):
+        profiler = SingleHashProfiler(config(resetting=False))
+        index = profiler.hash_function((1, 1))
+        alias = _find_alias(profiler, (1, 1))
+        feed(profiler, (1, 1), 10)
+        profiler.observe(alias)  # counter already at threshold
+        assert alias in profiler.accumulator
+
+    def test_reset_blocks_piggybacking(self):
+        profiler = SingleHashProfiler(config(resetting=True))
+        alias = _find_alias(profiler, (1, 1))
+        feed(profiler, (1, 1), 10)
+        profiler.observe(alias)
+        assert alias not in profiler.accumulator
+
+
+class TestRetaining:
+    def test_candidates_survive_interval_boundary(self):
+        profiler = SingleHashProfiler(config(retaining=True))
+        feed(profiler, (1, 1), 15)
+        profiler.end_interval()
+        assert (1, 1) in profiler.accumulator
+        # And it is shielded from the first event of the new interval:
+        profiler.observe((1, 1))
+        assert profiler.stats.accumulator_hits >= 1
+
+    def test_without_retaining_table_is_flushed(self):
+        profiler = SingleHashProfiler(config(retaining=False))
+        feed(profiler, (1, 1), 15)
+        profiler.end_interval()
+        assert (1, 1) not in profiler.accumulator
+
+    def test_retained_count_restarts_at_zero(self):
+        profiler = SingleHashProfiler(config(retaining=True))
+        feed(profiler, (1, 1), 15)
+        profiler.end_interval()
+        feed(profiler, (1, 1), 12)
+        profile = profiler.end_interval()
+        assert profile.candidates == {(1, 1): 12}
+
+    def test_retained_below_threshold_not_rereported(self):
+        profiler = SingleHashProfiler(config(retaining=True))
+        feed(profiler, (1, 1), 15)
+        profiler.end_interval()
+        feed(profiler, (1, 1), 5)  # below threshold this interval
+        profile = profiler.end_interval()
+        assert (1, 1) not in profile.candidates
+
+
+class TestIntervalMechanics:
+    def test_hash_table_flushed_between_intervals(self):
+        profiler = SingleHashProfiler(config())
+        feed(profiler, (1, 1), 9)  # just under threshold
+        profiler.end_interval()
+        feed(profiler, (1, 1), 9)  # again under; no carry-over
+        assert (1, 1) not in profiler.accumulator
+
+    def test_run_splits_stream_into_intervals(self):
+        profiler = SingleHashProfiler(config())
+        stream = [(1, 1)] * 1_000 + [(2, 2)] * 500
+        profiles = profiler.run(iter(stream))
+        assert len(profiles) == 2
+        assert profiles[0].events_observed == 1_000
+        assert profiles[1].events_observed == 500
+        assert profiles[1].candidates == {(2, 2): 500}
+
+    def test_accumulator_capacity_bounds_candidates(self):
+        # 100-entry accumulator at 1%; flood with 150 heavy tuples.
+        profiler = SingleHashProfiler(config())
+        for i in range(150):
+            feed(profiler, (i, i), 10)
+        assert len(profiler.accumulator) <= 100
+        assert profiler.stats.rejected_promotions > 0
+
+
+def _find_alias(profiler, event):
+    """A tuple hashing to the same counter as *event*."""
+    target = profiler.hash_function(event)
+    for i in range(1, 100_000):
+        candidate = (0xA000_0000 + i, i)
+        if candidate != event and profiler.hash_function(candidate) == target:
+            return candidate
+    raise AssertionError("no alias found")

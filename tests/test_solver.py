@@ -1,0 +1,145 @@
+"""Tests for the target solver (repro.workloads.solver)."""
+
+import pytest
+
+from repro.core.tuples import EventKind
+from repro.workloads.solver import (REFERENCE_INTERVAL, WARM_CAP,
+                                    BenchmarkTargets, build_model,
+                                    expected_candidates, expected_distinct)
+
+
+def targets(**overrides) -> BenchmarkTargets:
+    base = dict(name="synthetic", distinct_10k=1_500,
+                candidates_1pct=12, candidates_01pct=60,
+                strong_top_share=0.05, recurring_fraction=0.8)
+    base.update(overrides)
+    return BenchmarkTargets(**base)
+
+
+class TestValidation:
+    def test_rejects_inconsistent_candidate_counts(self):
+        with pytest.raises(ValueError):
+            targets(candidates_1pct=20, candidates_01pct=10)
+
+    def test_rejects_distinct_below_candidates(self):
+        with pytest.raises(ValueError):
+            targets(distinct_10k=50, candidates_01pct=60)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            targets(recurring_fraction=1.5)
+        with pytest.raises(ValueError):
+            targets(mid_fraction=-0.1)
+
+    def test_infeasible_targets_rejected_with_guidance(self):
+        # Tiny distinct budget + huge sub-threshold mass cannot fit
+        # under the warm cap.
+        bad = targets(distinct_10k=80, candidates_1pct=3,
+                      candidates_01pct=10, strong_top_share=0.011,
+                      recurring_fraction=0.9)
+        with pytest.raises(ValueError):
+            build_model(bad)
+
+
+class TestSolvedModel:
+    def test_candidate_counts_exact(self):
+        model = build_model(targets())
+        assert expected_candidates(model, 0.01) == 12
+        assert expected_candidates(model, 0.001) == 60
+
+    def test_distinct_target_met(self):
+        solved = targets()
+        model = build_model(solved)
+        predicted = expected_distinct(model, REFERENCE_INTERVAL)
+        assert predicted == pytest.approx(solved.distinct_10k, rel=0.05)
+
+    def test_masses_are_a_partition(self):
+        model = build_model(targets())
+        assert 0.0 <= model.fresh_mass < 1.0
+        assert model.hot_mass + model.recurring_mass \
+            + model.fresh_mass == pytest.approx(1.0)
+
+    def test_warm_band_stays_below_cap(self):
+        model = build_model(targets())
+        warm = model.bands[-1]
+        assert warm.top_share <= WARM_CAP + 1e-12
+
+    def test_mid_fraction_moves_candidates_into_gap(self):
+        low = build_model(targets(mid_fraction=0.0))
+        high = build_model(targets(mid_fraction=1.0))
+        # Same candidate totals either way...
+        assert low.candidates_at(0.001) == high.candidates_at(0.001)
+        # ...but the mid-heavy model carries more candidate mass.
+        assert high.hot_mass > low.hot_mass
+
+    def test_distinct_grows_with_interval_length(self):
+        model = build_model(targets())
+        d10 = expected_distinct(model, 10_000)
+        d100 = expected_distinct(model, 100_000)
+        # Fresh tuples keep the distinct count growing with interval
+        # length (sub-linear here because this model is warm-heavy).
+        assert d100 > 2 * d10
+
+    def test_kind_passes_through(self):
+        model = build_model(targets(), kind=EventKind.EDGE)
+        assert model.kind is EventKind.EDGE
+
+    def test_bursty_slots_exclude_warm_band(self):
+        model = build_model(targets())
+        candidate_slots = sum(band.count for band in model.bands[:-1])
+        assert model.bursty_slots == candidate_slots
+
+
+class TestEmpiricalCalibration:
+    """The solved model's realized stream matches its analytic targets."""
+
+    def test_distinct_and_candidates_realized(self):
+        from repro.workloads.generators import TupleStreamGenerator
+
+        solved = targets()
+        model = build_model(solved)
+        generator = TupleStreamGenerator(model)
+        counts = {}
+        for event in generator.events(REFERENCE_INTERVAL):
+            counts[event] = counts.get(event, 0) + 1
+        distinct = len(counts)
+        candidates_1pct = sum(1 for c in counts.values() if c >= 100)
+        assert distinct == pytest.approx(solved.distinct_10k, rel=0.10)
+        assert candidates_1pct == pytest.approx(solved.candidates_1pct,
+                                                abs=4)
+
+
+class TestRandomTargetsProperty:
+    def test_feasible_targets_always_solve_consistently(self):
+        """Property: any feasible target set yields a model whose
+        candidate counts match exactly and whose masses partition."""
+        import random
+
+        from repro.core.tuples import EventKind
+
+        rng = random.Random(77)
+        solved = 0
+        for _ in range(40):
+            c1 = rng.randrange(5, 25)
+            c01 = c1 + rng.randrange(10, 120)
+            distinct = c01 + rng.randrange(500, 4000)
+            candidate = BenchmarkTargets(
+                name="random", distinct_10k=distinct,
+                candidates_1pct=c1, candidates_01pct=c01,
+                strong_top_share=rng.uniform(0.012, 0.1),
+                mid_fraction=rng.uniform(0.0, 1.0),
+                recurring_fraction=rng.uniform(0.3, 0.9),
+                seed=rng.randrange(10 ** 6))
+            try:
+                model = build_model(candidate, kind=EventKind.VALUE)
+            except ValueError:
+                continue  # infeasible combination: correctly rejected
+            solved += 1
+            assert model.candidates_at(0.01) == c1
+            assert model.candidates_at(0.001) == c01
+            assert model.fresh_mass >= 0.0
+            assert model.hot_mass + model.recurring_mass \
+                + model.fresh_mass == pytest.approx(1.0)
+            predicted = expected_distinct(model, REFERENCE_INTERVAL)
+            assert predicted == pytest.approx(distinct, rel=0.08)
+        assert solved >= 10  # the space is not degenerate

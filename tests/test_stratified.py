@@ -1,0 +1,135 @@
+"""Tests for the Stratified Sampler baseline (repro.core.stratified)."""
+
+import pytest
+
+from repro.core.config import IntervalSpec
+from repro.core.stratified import StratifiedConfig, StratifiedSampler
+
+SPEC = IntervalSpec(length=1_000, threshold=0.01)
+
+
+def config(**overrides) -> StratifiedConfig:
+    base = dict(interval=SPEC, table_entries=256, sampling_threshold=4,
+                buffer_entries=10, aggregation_entries=0)
+    base.update(overrides)
+    return StratifiedConfig(**base)
+
+
+def feed(sampler, event, times):
+    for _ in range(times):
+        sampler.observe(event)
+
+
+class TestSampling:
+    def test_sample_emitted_at_sampling_threshold(self):
+        sampler = StratifiedSampler(config())
+        feed(sampler, (1, 1), 4)
+        assert sampler.messages == 1
+
+    def test_counter_resets_after_sample(self):
+        sampler = StratifiedSampler(config())
+        feed(sampler, (1, 1), 8)
+        assert sampler.messages == 2
+
+    def test_software_reconstruction_weights_samples(self):
+        sampler = StratifiedSampler(config())
+        feed(sampler, (1, 1), 40)  # 10 samples x threshold 4
+        profile = sampler.end_interval()
+        assert profile.candidates == {(1, 1): 40}
+
+    def test_sub_sampling_threshold_events_invisible(self):
+        sampler = StratifiedSampler(config())
+        feed(sampler, (1, 1), 3)
+        profile = sampler.end_interval()
+        assert profile.candidates == {}
+        assert sampler.messages == 0
+
+
+class TestInterruptModel:
+    def test_interrupt_when_buffer_fills(self):
+        sampler = StratifiedSampler(config(buffer_entries=2))
+        feed(sampler, (1, 1), 8)  # 2 messages -> one drain
+        assert sampler.interrupts == 1
+
+    def test_end_interval_drains_partial_buffer(self):
+        sampler = StratifiedSampler(config(buffer_entries=100))
+        feed(sampler, (1, 1), 40)
+        sampler.end_interval()
+        assert sampler.interrupts == 1  # forced drain
+
+    def test_software_overhead_scales_with_interrupts(self):
+        sampler = StratifiedSampler(config(buffer_entries=1))
+        feed(sampler, (1, 1), 1000)
+        overhead = sampler.software_overhead(cycles_per_interrupt=100)
+        assert overhead == pytest.approx(
+            sampler.interrupts * 100 / sampler.stats.events)
+
+    def test_zero_events_zero_overhead(self):
+        assert StratifiedSampler(config()).software_overhead() == 0.0
+
+
+class TestTagsAndReplacement:
+    def test_mismatching_tuple_counts_misses(self):
+        sampler = StratifiedSampler(config(miss_limit=3))
+        alias = _find_alias(sampler, (1, 1))
+        feed(sampler, (1, 1), 2)
+        feed(sampler, alias, 2)  # misses, below limit: no takeover
+        feed(sampler, (1, 1), 2)
+        assert sampler.messages == 1  # (1,1) reached 4 hits
+
+    def test_miss_limit_reclaims_entry(self):
+        sampler = StratifiedSampler(config(miss_limit=2))
+        alias = _find_alias(sampler, (1, 1))
+        feed(sampler, (1, 1), 2)
+        feed(sampler, alias, 2)  # hits the miss limit; takes over
+        feed(sampler, alias, 3)  # now accumulates hits of its own
+        assert sampler.messages == 1
+
+
+class TestAggregationTable:
+    def test_aggregation_coalesces_messages(self):
+        with_aggregation = StratifiedSampler(config(
+            aggregation_entries=4, aggregation_limit=3))
+        feed(with_aggregation, (1, 1), 4 * 3)  # 3 samples -> 1 flush
+        assert with_aggregation.messages == 3  # delivered together
+        assert with_aggregation.interrupts == 0  # buffer not full yet
+
+    def test_capacity_eviction_flushes_largest(self):
+        sampler = StratifiedSampler(config(
+            aggregation_entries=1, aggregation_limit=100))
+        feed(sampler, (1, 1), 8)   # 2 samples aggregated
+        feed(sampler, (2, 2), 4)   # evicts (1,1)'s aggregate
+        assert sampler.messages == 2
+
+    def test_end_interval_flushes_aggregation(self):
+        sampler = StratifiedSampler(config(
+            aggregation_entries=4, aggregation_limit=100))
+        feed(sampler, (1, 1), 12)
+        profile = sampler.end_interval()
+        assert profile.candidates == {(1, 1): 12}
+
+
+class TestConfigValidation:
+    def test_rejects_non_power_of_two_table(self):
+        with pytest.raises(ValueError):
+            StratifiedConfig(interval=SPEC, table_entries=300)
+
+    def test_rejects_zero_sampling_threshold(self):
+        with pytest.raises(ValueError):
+            StratifiedConfig(interval=SPEC, sampling_threshold=0)
+
+    def test_rejects_zero_buffer(self):
+        with pytest.raises(ValueError):
+            StratifiedConfig(interval=SPEC, buffer_entries=0)
+
+
+def _find_alias(sampler, event):
+    """A tuple with the same table index but a different partial tag."""
+    target = sampler.hash_function(event)
+    target_tag = sampler._partial_tag(event)
+    for i in range(1, 200_000):
+        candidate = (0xB000_0000 + i, i)
+        if (sampler.hash_function(candidate) == target
+                and sampler._partial_tag(candidate) != target_tag):
+            return candidate
+    raise AssertionError("no alias found")

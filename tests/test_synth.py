@@ -1,0 +1,152 @@
+"""Tests for synthetic programs (repro.simulator.synth)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.simulator.machine import Machine
+from repro.simulator.synth import (dispatch_program, mixed_program,
+                                   skewed_values, value_locality_program)
+
+
+class TestSkewedValues:
+    def test_length_and_range(self):
+        values = skewed_values(100, hot_values=[1, 2, 3], hot_mass=1.0,
+                               seed=1, cold_range=10)
+        assert len(values) == 100
+        assert set(values) <= {1, 2, 3}
+
+    def test_hot_mass_zero_is_all_cold(self):
+        values = skewed_values(100, hot_values=[1], hot_mass=0.0, seed=1,
+                               cold_range=1000)
+        assert 1 not in values or values.count(1) < 5
+
+    def test_zipf_ordering(self):
+        values = skewed_values(5_000, hot_values=[10, 20, 30],
+                               hot_mass=1.0, seed=2)
+        counts = Counter(values)
+        assert counts[10] > counts[20] > counts[30]
+
+    def test_deterministic(self):
+        assert skewed_values(50, [1, 2], 0.5, seed=3) == \
+            skewed_values(50, [1, 2], 0.5, seed=3)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            skewed_values(10, [], 0.5, seed=1)
+        with pytest.raises(ValueError):
+            skewed_values(10, [1], 1.5, seed=1)
+
+
+class TestValueLocalityProgram:
+    def test_runs_to_halt(self):
+        machine = Machine(value_locality_program(array_size=32,
+                                                 iterations=3))
+        state = machine.run()
+        assert state.halted
+        assert state.loads == 32 * 3
+
+    def test_loads_are_dominated_by_hot_values(self):
+        machine = Machine(value_locality_program(
+            array_size=128, iterations=2, hot_values=(5, 6), hot_mass=0.9,
+            seed=4))
+        seen = []
+        machine.load_hooks.append(
+            lambda pc, address, value: seen.append(value))
+        machine.run()
+        counts = Counter(seen)
+        hot_fraction = (counts[5] + counts[6]) / len(seen)
+        assert hot_fraction > 0.75
+
+
+class TestDispatchProgram:
+    def test_runs_to_halt(self):
+        machine = Machine(dispatch_program(num_handlers=4, code_length=32,
+                                           iterations=2))
+        assert machine.run().halted
+
+    def test_dispatch_edges_skewed(self):
+        program = dispatch_program(num_handlers=6, code_length=64,
+                                   iterations=3, hot_mass=0.9, seed=5)
+        machine = Machine(program)
+        dispatch_pc = program.address_of("dispatch")
+        targets = []
+        machine.branch_hooks.append(
+            lambda pc, target, taken: targets.append(target)
+            if pc == dispatch_pc else None)
+        machine.run()
+        counts = Counter(targets)
+        assert len(counts) == 6  # every handler reached
+        top = counts.most_common(1)[0][1]
+        assert top / len(targets) > 0.25  # skew visible
+
+    def test_rejects_bad_handler_count(self):
+        with pytest.raises(ValueError):
+            dispatch_program(num_handlers=1)
+
+
+class TestMixedProgram:
+    def test_runs_both_routines(self):
+        machine = Machine(mixed_program(array_size=24, iterations=2))
+        state = machine.run()
+        assert state.halted
+        assert state.loads > 0
+        assert state.taken_branches > 0
+
+    def test_call_depth_balanced(self):
+        # RET must always return to the call site: the machine halts
+        # rather than faulting, over several iterations.
+        machine = Machine(mixed_program(array_size=16, iterations=5))
+        assert machine.run().halted
+
+
+class TestRegionalProgram:
+    def test_runs_to_halt(self):
+        from repro.simulator.synth import regional_program
+        from repro.simulator.machine import Machine
+
+        machine = Machine(regional_program(num_regions=3, iterations=3,
+                                           seed=7))
+        state = machine.run()
+        assert state.halted
+        assert state.loads > 0
+
+    def test_regions_have_distinct_branch_biases(self):
+        from collections import defaultdict
+
+        from repro.simulator.synth import regional_program
+        from repro.simulator.machine import Machine
+
+        program = regional_program(num_regions=4, iterations=5, seed=7)
+        machine = Machine(program)
+        taken = defaultdict(lambda: [0, 0])
+        branch_pcs = {program.address_of(f"r{region}_branch"): region
+                      for region in range(4)}
+
+        def observe(pc, target, is_taken):
+            region = branch_pcs.get(pc)
+            if region is not None:
+                taken[region][int(is_taken)] += 1
+
+        machine.branch_hooks.append(observe)
+        machine.run()
+        rates = sorted(counts[1] / sum(counts)
+                       for counts in taken.values())
+        assert len(rates) == 4
+        assert rates[-1] - rates[0] > 0.2  # genuinely different biases
+
+    def test_deterministic_per_seed(self):
+        from repro.simulator.synth import regional_source
+
+        assert regional_source(seed=3) == regional_source(seed=3)
+        assert regional_source(seed=3) != regional_source(seed=4)
+
+    def test_rejects_bad_parameters(self):
+        import pytest
+
+        from repro.simulator.synth import regional_source
+
+        with pytest.raises(ValueError):
+            regional_source(num_regions=0)
+        with pytest.raises(ValueError):
+            regional_source(iterations=0)

@@ -1,0 +1,164 @@
+"""Tests for counter and accumulator tables (repro.core.tables)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tables import AccumulatorTable, CounterTable
+
+
+class TestCounterTable:
+    def test_starts_zeroed(self):
+        table = CounterTable(16)
+        assert all(value == 0 for value in table)
+
+    def test_increment_returns_new_value(self):
+        table = CounterTable(16)
+        assert table.increment(3) == 1
+        assert table.increment(3) == 2
+        assert table.read(3) == 2
+
+    def test_saturates_instead_of_wrapping(self):
+        table = CounterTable(4, counter_bits=3)
+        for _ in range(20):
+            table.increment(0)
+        assert table.read(0) == 7
+
+    def test_increment_amount_saturates(self):
+        table = CounterTable(4, counter_bits=3)
+        assert table.increment(1, amount=100) == 7
+
+    def test_reset_single_counter(self):
+        table = CounterTable(8)
+        table.increment(2)
+        table.increment(5)
+        table.reset(2)
+        assert table.read(2) == 0
+        assert table.read(5) == 1
+
+    def test_flush_zeroes_everything(self):
+        table = CounterTable(8)
+        for index in range(8):
+            table.increment(index)
+        table.flush()
+        assert table.occupancy() == 0
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            CounterTable(0)
+        with pytest.raises(ValueError):
+            CounterTable(8, counter_bits=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                    max_size=300))
+    def test_counts_match_reference(self, indices):
+        table = CounterTable(16, counter_bits=24)
+        reference = [0] * 16
+        for index in indices:
+            table.increment(index)
+            reference[index] += 1
+        assert list(table) == reference
+
+
+class TestAccumulatorInsertion:
+    def test_insert_and_lookup(self):
+        table = AccumulatorTable(4)
+        assert table.insert((1, 1), initial_count=10)
+        entry = table.lookup((1, 1))
+        assert entry.count == 10
+        assert not entry.replaceable
+
+    def test_duplicate_insert_rejected(self):
+        table = AccumulatorTable(4)
+        table.insert((1, 1), initial_count=1)
+        with pytest.raises(ValueError):
+            table.insert((1, 1), initial_count=1)
+
+    def test_full_of_pinned_entries_rejects(self):
+        table = AccumulatorTable(2)
+        assert table.insert((1, 1), 5)
+        assert table.insert((2, 2), 5)
+        assert not table.insert((3, 3), 5)
+        assert table.rejected_inserts == 1
+        assert (3, 3) not in table
+
+    def test_record_hit_increments(self):
+        table = AccumulatorTable(2)
+        table.insert((1, 1), 5)
+        assert table.record_hit((1, 1), threshold_count=10) == 6
+
+
+class TestAccumulatorEviction:
+    def test_replaceable_entry_is_evicted_for_new_insert(self):
+        table = AccumulatorTable(1)
+        table.insert((1, 1), 10)
+        table.end_interval(threshold_count=5, retaining=True)
+        # (1,1) survived as replaceable with count 0.
+        assert table.insert((2, 2), 5)
+        assert (1, 1) not in table
+        assert table.evictions == 1
+
+    def test_lowest_count_replaceable_evicted_first(self):
+        table = AccumulatorTable(2)
+        table.insert((1, 1), 10)
+        table.insert((2, 2), 10)
+        table.end_interval(threshold_count=5, retaining=True)
+        table.record_hit((1, 1), threshold_count=100)  # count 1 > 0
+        table.insert((3, 3), 5)
+        assert (2, 2) not in table  # count 0 lost the tie
+        assert (1, 1) in table
+
+    def test_rethreshold_crossing_unpins_retained_entry(self):
+        table = AccumulatorTable(1)
+        table.insert((1, 1), 10)
+        table.end_interval(threshold_count=5, retaining=True)
+        for _ in range(5):
+            table.record_hit((1, 1), threshold_count=5)
+        # Re-crossed the threshold: no longer replaceable.
+        assert not table.insert((2, 2), 5)
+
+
+class TestAccumulatorEndInterval:
+    def test_reports_only_above_threshold(self):
+        table = AccumulatorTable(4)
+        table.insert((1, 1), 12)
+        table.insert((2, 2), 3)
+        report = table.end_interval(threshold_count=10, retaining=False)
+        assert report == {(1, 1): 12}
+        assert len(table) == 0
+
+    def test_retaining_keeps_candidates_with_zeroed_counts(self):
+        table = AccumulatorTable(4)
+        table.insert((1, 1), 12)
+        table.insert((2, 2), 3)
+        table.end_interval(threshold_count=10, retaining=True)
+        assert (1, 1) in table
+        assert (2, 2) not in table
+        entry = table.lookup((1, 1))
+        assert entry.count == 0
+        assert entry.replaceable
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            AccumulatorTable(0)
+
+
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=20),
+              st.integers(min_value=1, max_value=30)),
+    max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_accumulator_never_exceeds_capacity(operations):
+    """Property: whatever the insert/hit sequence, occupancy stays
+    within capacity and resident counts are non-negative."""
+    table = AccumulatorTable(5)
+    for key, count in operations:
+        event = (key, key)
+        if event in table:
+            table.record_hit(event, threshold_count=15)
+        else:
+            table.insert(event, initial_count=count)
+        assert len(table) <= 5
+        if len(operations) % 7 == 0:
+            table.end_interval(threshold_count=15, retaining=True)
+            assert len(table) <= 5

@@ -1,0 +1,125 @@
+"""Tests for the tagged profile-buffer baseline (repro.core.tagged_table)."""
+
+import pytest
+
+from repro.core.config import IntervalSpec
+from repro.core.tagged_table import (TaggedTableConfig, TaggedTableProfiler,
+                                     area_equivalent_config)
+
+SPEC = IntervalSpec(length=1_000, threshold=0.01)  # threshold_count 10
+
+
+def config(**overrides) -> TaggedTableConfig:
+    base = dict(interval=SPEC, sets=4, ways=2, miss_limit=3)
+    base.update(overrides)
+    return TaggedTableConfig(**base)
+
+
+def feed(profiler, event, times):
+    for _ in range(times):
+        profiler.observe(event)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(sets=3), dict(sets=0), dict(ways=0), dict(miss_limit=0),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            config(**kwargs)
+
+    def test_geometry(self):
+        c = config(sets=8, ways=4)
+        assert c.total_entries == 32
+        assert c.index_bits == 3
+
+
+class TestCounting:
+    def test_exact_counts_without_pressure(self):
+        profiler = TaggedTableProfiler(config())
+        feed(profiler, (1, 1), 25)
+        feed(profiler, (2, 2), 5)  # below threshold
+        profile = profiler.end_interval()
+        assert profile.candidates == {(1, 1): 25}
+
+    def test_counter_saturates(self):
+        profiler = TaggedTableProfiler(config(counter_bits=4))
+        feed(profiler, (1, 1), 100)
+        profile = profiler.end_interval()
+        assert profile.candidates == {(1, 1): 15}
+
+    def test_retaining_keeps_candidates(self):
+        profiler = TaggedTableProfiler(config(retaining=True))
+        feed(profiler, (1, 1), 20)
+        profiler.end_interval()
+        feed(profiler, (1, 1), 12)
+        assert profiler.end_interval().candidates == {(1, 1): 12}
+
+    def test_no_retaining_flushes(self):
+        profiler = TaggedTableProfiler(config(retaining=False))
+        feed(profiler, (1, 1), 20)
+        profiler.end_interval()
+        assert profiler.occupancy() == 0
+
+
+class TestReplacement:
+    def _fill_one_set(self, profiler, count):
+        """Distinct tuples that all land in the same set."""
+        target = None
+        members = []
+        probe = 0
+        while len(members) < count:
+            probe += 1
+            event = (0xC000_0000 + probe, probe)
+            index = profiler.hash_function(event)
+            if target is None:
+                target = index
+            if index == target:
+                members.append(event)
+        return members
+
+    def test_miss_limit_protects_established_entries(self):
+        profiler = TaggedTableProfiler(config(sets=4, ways=1,
+                                              miss_limit=5))
+        resident, challenger = self._fill_one_set(profiler, 2)
+        feed(profiler, resident, 10)
+        feed(profiler, challenger, 4)  # below miss limit
+        assert profiler.capacity_drops == 4
+        assert profiler.evictions == 0
+        profile = profiler.end_interval()
+        assert resident in profile.candidates
+
+    def test_eviction_after_miss_limit(self):
+        profiler = TaggedTableProfiler(config(sets=4, ways=1,
+                                              miss_limit=2))
+        resident, challenger = self._fill_one_set(profiler, 2)
+        feed(profiler, resident, 3)
+        feed(profiler, challenger, 2)  # second miss evicts
+        assert profiler.evictions == 1
+        feed(profiler, challenger, 9)
+        profile = profiler.end_interval()
+        assert challenger in profile.candidates
+        assert resident not in profile.candidates
+
+    def test_lowest_count_is_victim(self):
+        profiler = TaggedTableProfiler(config(sets=4, ways=2,
+                                              miss_limit=1))
+        heavy, light, challenger = self._fill_one_set(profiler, 3)
+        feed(profiler, heavy, 15)
+        feed(profiler, light, 2)
+        feed(profiler, challenger, 1)
+        profile = profiler.end_interval()
+        assert heavy in profile.candidates
+
+
+class TestAreaEquivalence:
+    def test_budget_respected(self):
+        c = area_equivalent_config(SPEC, budget_bytes=7_168)
+        entry_bits = 54 + 24
+        assert c.total_entries * entry_bits <= 7_168 * 8
+        # And uses most of it (within the power-of-two rounding).
+        assert c.total_entries * entry_bits > 7_168 * 8 / 2.5
+
+    def test_fewer_entries_than_tagless_at_same_area(self):
+        c = area_equivalent_config(SPEC, budget_bytes=6_144)
+        assert c.total_entries < 2048  # 6 KB buys 2K tagless counters

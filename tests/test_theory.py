@@ -1,0 +1,78 @@
+"""Tests for the Section 6.2 analysis (repro.core.theory)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.theory import (FIGURE9_ENTRY_CURVES, FIGURE9_TABLE_COUNTS,
+                               continuous_optimal_table_count,
+                               false_positive_curve,
+                               false_positive_probability, figure9_curves,
+                               optimal_table_count)
+
+
+class TestFalsePositiveProbability:
+    def test_single_table_formula(self):
+        # p = 100 / (t Z): 2000 entries at 1% -> 5%.
+        assert false_positive_probability(1, 2000, 1.0) == pytest.approx(
+            0.05)
+
+    def test_paper_example_1000_entries(self):
+        # Figure 9: 1000 entries degrade beyond 4 tables.
+        curve = false_positive_curve(1000, 1.0, range(1, 9))
+        assert min(range(8), key=curve.__getitem__) == 3  # 4 tables
+
+    def test_formula_shape(self):
+        # (100 n / t Z)^n, hand-checked for n=2, Z=2000, t=1.
+        assert false_positive_probability(2, 2000, 1.0) == pytest.approx(
+            (200 / 2000) ** 2)
+
+    def test_clamped_to_one(self):
+        assert false_positive_probability(8, 500, 1.0) == 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_tables=0, total_entries=100, threshold_percent=1.0),
+        dict(num_tables=8, total_entries=4, threshold_percent=1.0),
+        dict(num_tables=1, total_entries=100, threshold_percent=0.0),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            false_positive_probability(**kwargs)
+
+    @given(st.integers(min_value=1, max_value=32),
+           st.integers(min_value=64, max_value=65536))
+    def test_probability_in_unit_interval(self, tables, entries):
+        if entries < tables:
+            return
+        p = false_positive_probability(tables, entries, 1.0)
+        assert 0.0 <= p <= 1.0
+
+
+class TestCurves:
+    def test_figure9_covers_all_budgets(self):
+        curves = figure9_curves()
+        assert set(curves) == set(FIGURE9_ENTRY_CURVES)
+        assert all(len(c) == len(FIGURE9_TABLE_COUNTS)
+                   for c in curves.values())
+
+    def test_curves_fall_then_rise(self):
+        """Each Figure 9 curve is U-shaped (monotone down to its
+        optimum, then monotone up) once clamping is ignored."""
+        for entries in (1000, 2000, 4000):
+            curve = false_positive_curve(entries, 1.0, range(1, 17))
+            best = min(range(16), key=curve.__getitem__)
+            assert all(curve[i] >= curve[i + 1] - 1e-12
+                       for i in range(best))
+            assert all(curve[i] <= curve[i + 1] + 1e-12
+                       for i in range(best, 15))
+
+    def test_optimum_moves_right_with_budget(self):
+        optima = [optimal_table_count(entries)
+                  for entries in FIGURE9_ENTRY_CURVES]
+        assert optima == sorted(optima)
+
+    def test_integer_optimum_near_continuous(self):
+        for entries in FIGURE9_ENTRY_CURVES:
+            integer = optimal_table_count(entries, max_tables=64)
+            continuous = continuous_optimal_table_count(entries)
+            assert abs(integer - continuous) <= 1.0

@@ -1,0 +1,67 @@
+"""Tests for trace record/replay (repro.workloads.traces)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuples import EventKind
+from repro.workloads.traces import Trace, load_trace, record, save_trace
+
+
+class TestTrace:
+    def test_record_and_replay(self):
+        events = [(1, 10), (2, 20), (1, 10)]
+        trace = record(events, kind=EventKind.EDGE, source="unit")
+        assert len(trace) == 3
+        assert list(trace.events()) == events
+        assert trace.kind is EventKind.EDGE
+
+    def test_iteration_protocol(self):
+        trace = record([(5, 6)])
+        assert list(trace) == [(5, 6)]
+
+    def test_slice(self):
+        trace = record([(i, i) for i in range(10)])
+        window = trace.slice(2, 5)
+        assert list(window.events()) == [(2, 2), (3, 3), (4, 4)]
+        assert window.kind is trace.kind
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            Trace(pcs=np.zeros(3, dtype=np.uint64),
+                  values=np.zeros(4, dtype=np.uint64))
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(ValueError):
+            Trace(pcs=np.zeros((2, 2), dtype=np.uint64),
+                  values=np.zeros((2, 2), dtype=np.uint64))
+
+    def test_dtype_coerced_to_uint64(self):
+        trace = Trace(pcs=np.array([1, 2], dtype=np.int32),
+                      values=np.array([3, 4], dtype=np.int64))
+        assert trace.pcs.dtype == np.uint64
+
+    def test_empty_record(self):
+        assert len(record([])) == 0
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        events = [(0x1000 + i, i * 7) for i in range(100)]
+        trace = record(events, kind=EventKind.VALUE, source="sim:test")
+        path = str(tmp_path / "trace.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert list(loaded.events()) == events
+        assert loaded.kind is EventKind.VALUE
+        assert loaded.source == "sim:test"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(str(tmp_path / "absent.npz"))
+
+    def test_64_bit_values_preserved(self, tmp_path):
+        big = 2 ** 64 - 1
+        trace = record([(big, big)])
+        path = str(tmp_path / "big.npz")
+        save_trace(trace, path)
+        assert list(load_trace(path).events()) == [(big, big)]

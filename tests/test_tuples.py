@@ -1,0 +1,63 @@
+"""Tests for event naming (repro.core.tuples)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tuples import (FIELD_MASK, EventKind, edge_tuple,
+                               is_valid_tuple, make_tuple, value_tuple)
+
+
+class TestMakeTuple:
+    def test_masks_to_field_width(self):
+        assert make_tuple(1 << 70, 5) == ((1 << 70) & FIELD_MASK, 5)
+
+    def test_negative_values_fold_to_twos_complement(self):
+        assert make_tuple(0, -1) == (0, FIELD_MASK)
+
+    def test_plain_pair(self):
+        assert make_tuple(0x1000, 42) == (0x1000, 42)
+
+    @given(st.integers(), st.integers())
+    def test_always_valid(self, a, b):
+        assert is_valid_tuple(make_tuple(a, b))
+
+
+class TestNamedConstructors:
+    def test_value_tuple_is_pc_value(self):
+        assert value_tuple(0x400, 7) == (0x400, 7)
+
+    def test_edge_tuple_is_pc_target(self):
+        assert edge_tuple(0x400, 0x500) == (0x400, 0x500)
+
+    def test_directions_are_distinct_edges(self):
+        taken = edge_tuple(0x400, 0x900)
+        fallthrough = edge_tuple(0x400, 0x404)
+        assert taken != fallthrough
+
+
+class TestIsValidTuple:
+    @pytest.mark.parametrize("candidate", [
+        (1, 2, 3),        # wrong arity
+        [1, 2],           # not a tuple
+        (1.5, 2),         # not ints
+        ("a", "b"),
+        (-1, 0),          # out of range
+        (0, 1 << 64),
+        42,
+        None,
+    ])
+    def test_rejects_malformed(self, candidate):
+        assert not is_valid_tuple(candidate)
+
+    def test_accepts_boundary_values(self):
+        assert is_valid_tuple((0, FIELD_MASK))
+
+
+class TestEventKind:
+    def test_kinds_cover_paper_profiles(self):
+        assert {EventKind.VALUE.value, EventKind.EDGE.value} <= {
+            kind.value for kind in EventKind}
+
+    def test_kind_from_string(self):
+        assert EventKind("value") is EventKind.VALUE
