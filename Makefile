@@ -26,6 +26,8 @@ examples:
 		$(PYTHON) $$script || exit 1; \
 	done
 
+# Scratch and caches only: benchmarks/results and src/*.egg-info are
+# checked in and must survive a clean.
 clean:
-	rm -rf benchmarks/results .pytest_cache .hypothesis
+	rm -rf .pytest_cache .hypothesis build dist
 	find . -name __pycache__ -type d -exec rm -rf {} +

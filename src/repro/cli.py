@@ -14,6 +14,20 @@ Subcommands::
         Record a benchmark stream (or a synthetic simulator program
         with ``--program``) to a trace file for later replay.
 
+    repro-profile serve --port 7071 --workers 4
+        Run the multi-tenant streaming profile server
+        (:mod:`repro.service`) until interrupted.
+
+    repro-profile push --port 7071 --stream gcc-0 --benchmark gcc \
+            --events 100000
+        Open a stream on a running server, push a benchmark stream (or
+        a recorded trace with ``--trace``) in batches, and print the
+        final snapshot.
+
+    repro-profile snapshot --port 7071 --stream gcc-0
+        Query a live snapshot of an open stream; ``--stats`` prints
+        server and worker statistics instead.
+
 The profiler configuration flags mirror
 :class:`~repro.core.config.ProfilerConfig`: ``--tables``, ``--entries``,
 ``--interval``, ``--threshold``, ``--no-conservative-update``,
@@ -68,7 +82,68 @@ def build_parser() -> argparse.ArgumentParser:
                                "instead of a benchmark stream")
     recorder.add_argument("-o", "--output", required=True,
                           help="output .npz path")
+    recorder.add_argument("--chunk", type=int, default=None,
+                          help="generation chunk size; a synthetic "
+                               "stream's content depends on its draw "
+                               "batching, so match this to a live "
+                               "session's per-interval chunking to "
+                               "record the identical stream")
+
+    serve = commands.add_parser(
+        "serve", help="run the streaming profile server")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="listen address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7071,
+                       help="listen port, 0 for ephemeral "
+                            "(default 7071)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="shard worker processes (default 2)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="queued requests per worker before busy "
+                            "shedding (default 64)")
+    serve.add_argument("--snapshot-intervals", type=int, default=64,
+                       help="recent per-interval profiles kept per "
+                            "stream (default 64)")
+
+    push = commands.add_parser(
+        "push", help="stream events into a running server")
+    _add_service_flags(push)
+    push.add_argument("--stream", required=True,
+                      help="stream id to open and push")
+    _add_workload_flags(push)
+    _add_profiler_flags(push)
+    push.add_argument("--trace", default=None,
+                      help="push a recorded .npz trace instead of a "
+                           "benchmark stream")
+    push.add_argument("--events", type=int, default=100_000,
+                      help="events to push from a benchmark stream "
+                           "(default 100000; ignored with --trace)")
+    push.add_argument("--batch", type=int, default=8192,
+                      help="events per pushed batch (default 8192)")
+    push.add_argument("--keep-open", action="store_true",
+                      help="leave the stream open (poll it later with "
+                           "'snapshot') instead of closing it")
+    push.add_argument("--top", type=int, default=10,
+                      help="candidates to print from the last interval")
+
+    snapshot = commands.add_parser(
+        "snapshot", help="query a live stream snapshot or server stats")
+    _add_service_flags(snapshot)
+    snapshot.add_argument("--stream", default=None,
+                          help="stream id to snapshot")
+    snapshot.add_argument("--stats", action="store_true",
+                          help="print server/worker statistics instead")
+    snapshot.add_argument("--top", type=int, default=10,
+                          help="candidates to print from the last "
+                               "interval")
     return parser
+
+
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7071,
+                        help="server port (default 7071)")
 
 
 def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
@@ -175,7 +250,10 @@ def _run_record(args: argparse.Namespace) -> int:
     else:
         generator = benchmark_generator(args.benchmark, kind,
                                         seed=args.seed)
-        trace = record(generator.events(args.events), kind=kind,
+        events = (generator.events(args.events) if args.chunk is None
+                  else generator.events(args.events,
+                                        chunk_size=args.chunk))
+        trace = record(events, kind=kind,
                        source=f"benchmark:{args.benchmark}")
         source = trace.source
     save_trace(trace, args.output)
@@ -184,14 +262,132 @@ def _run_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_snapshot(snapshot: dict, top: int) -> None:
+    summary = snapshot["summary"]
+    state = "final" if snapshot.get("final") else "live"
+    print(f"stream {snapshot['stream']} ({snapshot['profiler']}, "
+          f"{state}): {snapshot['events']:,} events, "
+          f"{snapshot['intervals_completed']} intervals complete, "
+          f"{snapshot['pending_events']} pending"
+          + (", flushed partial interval"
+             if snapshot.get("flushed_partial") else ""))
+    if snapshot["intervals"]:
+        last = snapshot["intervals"][-1]
+        rows = [[f"{pc:#x}", f"{value:#x}", count]
+                for pc, value, count in last["candidates"][:top]]
+        print(f"\ninterval {last['index']}: "
+              f"{len(last['candidates'])} candidates, error "
+              f"{last['error_percent']:.3f}%")
+        print(format_table(["pc", "value", "count"], rows))
+    breakdown = summary["breakdown_percent"]
+    print(f"\nnet error over {summary['num_intervals']} intervals: "
+          f"{summary['net_error_percent']:.3f}%  ("
+          + ", ".join(f"{key}={value:.3f}"
+                      for key, value in breakdown.items()) + ")")
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .service import ProfileServer
+
+    server = ProfileServer(host=args.host, port=args.port,
+                           num_workers=args.workers,
+                           max_pending=args.max_pending,
+                           snapshot_intervals=args.snapshot_intervals)
+    server.start()
+    print(f"profile server listening on {server.host}:{server.port} "
+          f"({args.workers} workers; ctrl-c to drain and stop)",
+          flush=True)
+    try:
+        import time
+
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        # A repeated ctrl-c (terminals signal the whole process group)
+        # must not abort the drain midway.
+        import signal
+
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        server.stop()
+        print("drained and stopped")
+    return 0
+
+
+def _run_push(args: argparse.Namespace) -> int:
+    from .service import ProfileClient, ServiceError
+
+    config = config_from_args(args)
+    try:
+        return _push_with(ProfileClient, args, config)
+    except ServiceError as error:
+        print(f"error: server refused ({error.code}): {error}",
+              file=sys.stderr)
+        return 2
+
+
+def _push_with(client_type, args: argparse.Namespace, config) -> int:
+    with client_type(host=args.host, port=args.port) as client:
+        opened = client.open_stream(args.stream, config)
+        print(f"opened stream {args.stream} on shard "
+              f"{opened['shard']} ({opened['profiler']})")
+        if args.trace:
+            trace = load_trace(args.trace)
+            client.push_trace(args.stream, trace,
+                              batch_events=args.batch)
+            print(f"pushed {len(trace)} events from {args.trace}")
+        else:
+            generator = benchmark_generator(args.benchmark,
+                                            EventKind(args.kind),
+                                            seed=args.seed)
+            client.push_generator(args.stream, generator, args.events,
+                                  batch_events=args.batch)
+            print(f"pushed {args.events} events from "
+                  f"benchmark:{args.benchmark}")
+        if args.keep_open:
+            snapshot = client.snapshot(args.stream)
+        else:
+            snapshot = client.close_stream(args.stream)
+        _print_snapshot(snapshot, args.top)
+    return 0
+
+
+def _run_snapshot(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ProfileClient, ServiceError
+
+    if not args.stats and not args.stream:
+        print("error: name a --stream or ask for --stats",
+              file=sys.stderr)
+        return 2
+    try:
+        with ProfileClient(host=args.host, port=args.port) as client:
+            if args.stats:
+                print(json.dumps(client.server_stats(), indent=2))
+            else:
+                _print_snapshot(client.snapshot(args.stream), args.top)
+    except ServiceError as error:
+        print(f"error: server refused ({error.code}): {error}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"stream": _run_stream, "trace": _run_trace,
-                "record": _run_record}
+                "record": _run_record, "serve": _run_serve,
+                "push": _run_push, "snapshot": _run_snapshot}
     try:
         return handlers[args.command](args)
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ConnectionError as error:
+        print(f"error: cannot reach the profile server: {error}",
+              file=sys.stderr)
         return 2
 
 

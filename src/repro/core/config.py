@@ -19,7 +19,8 @@ standard operating points are exposed as :data:`SHORT_INTERVAL`
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping
 
 #: Hash-table counter width used throughout the paper's evaluation:
 #: "2K entries of 3 byte counters" (Section 7).
@@ -81,6 +82,20 @@ class IntervalSpec:
         """
         return IntervalSpec(max(1, int(self.length * factor)),
                             self.threshold)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe) for manifests and wire protocols."""
+        return {"length": self.length, "threshold": self.threshold}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IntervalSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        unknown = set(data) - {"length", "threshold"}
+        if unknown:
+            raise ValueError(f"unknown IntervalSpec keys: "
+                             f"{', '.join(sorted(unknown))}")
+        return cls(length=int(data["length"]),
+                   threshold=float(data["threshold"]))
 
 
 #: 10,000-event intervals with a 1 % candidate threshold -- the paper's
@@ -168,6 +183,39 @@ class ProfilerConfig:
         parts.append(f"R{int(self.resetting)}")
         parts.append(f"P{int(self.retaining)}")
         return "-".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe) suitable for experiment manifests
+        and the service wire protocol.  Round-trips exactly through
+        :meth:`from_dict`."""
+        data: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            data[spec_field.name] = (value.to_dict()
+                                     if isinstance(value, IntervalSpec)
+                                     else value)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProfilerConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Missing keys fall back to the dataclass defaults; unknown keys
+        are rejected so version skew between a client and server fails
+        loudly instead of silently dropping a flag.
+        """
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ProfilerConfig keys: "
+                             f"{', '.join(sorted(unknown))}")
+        kwargs: Dict[str, Any] = dict(data)
+        if "interval" in kwargs:
+            interval = kwargs["interval"]
+            if isinstance(interval, Mapping):
+                interval = IntervalSpec.from_dict(interval)
+            kwargs["interval"] = interval
+        return cls(**kwargs)
 
     def with_tables(self, num_tables: int) -> "ProfilerConfig":
         """Copy of this config with a different hash-table count."""

@@ -2,8 +2,8 @@
 
 from .atom import EventLog, Instrumenter, trace_events
 from .events import BranchEvent, LoadEvent, StoreEvent, tuple_for
-from .session import (ProfilerResult, ProfilingSession, SessionResult,
-                      profile_stream)
+from .session import (ProfilerResult, ProfilingSession, SessionFeeder,
+                      SessionResult, profile_stream)
 
 __all__ = [
     "BranchEvent",
@@ -12,6 +12,7 @@ __all__ = [
     "LoadEvent",
     "ProfilerResult",
     "ProfilingSession",
+    "SessionFeeder",
     "SessionResult",
     "StoreEvent",
     "profile_stream",

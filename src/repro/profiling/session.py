@@ -243,54 +243,25 @@ class ProfilingSession:
     # Chunked path
     # ------------------------------------------------------------------
 
+    def feeder(self) -> "SessionFeeder":
+        """An incremental driver over this session's profilers.
+
+        Used by long-running consumers (the profile service) that
+        receive event batches over time instead of owning a finite
+        source; :meth:`run` is itself implemented on top of it.
+        """
+        return SessionFeeder(self)
+
     def _run_chunked(self, reader, num_intervals: int) -> SessionResult:
-        results = self._new_results()
-        perfect_profiles: List[IntervalProfile] = []
-        distinct_per_interval: List[int] = []
-        functions = [self._hash_functions(profiler)
-                     for profiler in self.profilers]
+        feeder = self.feeder()
         length = self.interval.length
-        threshold = self.interval.threshold_count
-
-        for interval_index in range(num_intervals):
-            pieces: List[Tuple[np.ndarray, np.ndarray]] = []
-            remaining = length
-            exhausted = False
-            while remaining > 0:
-                piece = reader.chunk(min(CHUNK_EVENTS, remaining))
-                if piece is None:
-                    exhausted = True
-                    break
-                pcs, values = piece
-                events = list(zip(pcs.tolist(), values.tolist()))
-                for profiler, profiler_functions in zip(self.profilers,
-                                                        functions):
-                    if profiler_functions is None:
-                        profiler.observe_chunk(events, None)
-                    else:
-                        index_lists = [
-                            function.index_array(pcs, values).tolist()
-                            for function in profiler_functions]
-                        profiler.observe_chunk(events, index_lists)
-                pieces.append((pcs, values))
-                remaining -= len(pcs)
-            if exhausted:
+        while feeder.intervals_completed < num_intervals:
+            piece = reader.chunk(
+                min(CHUNK_EVENTS, length - feeder.pending_events))
+            if piece is None:
                 break
-
-            truth, distinct = _interval_truth(pieces, threshold)
-            distinct_per_interval.append(distinct)
-            perfect_profiles.append(IntervalProfile(
-                index=interval_index,
-                candidates=truth.candidates,
-                events_observed=length))
-            self._score_interval(results, truth, threshold)
-
-        return SessionResult(
-            interval=self.interval,
-            results=results,
-            perfect_profiles=perfect_profiles,
-            distinct_per_interval=distinct_per_interval,
-        )
+            feeder.feed(*piece)
+        return feeder.finish()
 
     @staticmethod
     def _hash_functions(profiler: HardwareProfiler
@@ -322,6 +293,162 @@ class ProfilingSession:
                 interval_error(true_counts, profile, threshold))
             if self.keep_profiles:
                 result.profiles.append(profile)
+
+
+class SessionFeeder:
+    """Incremental chunked driver for a :class:`ProfilingSession`.
+
+    Accepts event batches of arbitrary size via :meth:`feed`, splits
+    them at interval boundaries, drives every profiler's
+    ``observe_chunk`` fast path with vectorized pre-hashing, and closes
+    and scores an interval the moment its event count is reached --
+    exactly the session's chunked path, but push- instead of
+    pull-driven.  This is what a profile-service worker owns per
+    stream: batches arrive over the wire over minutes or hours, and a
+    consistent :class:`SessionResult` view is available at any time via
+    :meth:`snapshot`.
+
+    Equivalence guarantee (tested): feeding a stream in any batch
+    partitioning yields results identical to ``session.run`` over the
+    same events, because per-event observation order and interval
+    boundaries are preserved regardless of how batches are split.
+    """
+
+    def __init__(self, session: ProfilingSession) -> None:
+        self._session = session
+        self._results = session._new_results()
+        self._perfect_profiles: List[IntervalProfile] = []
+        self._distinct: List[int] = []
+        self._functions = [session._hash_functions(profiler)
+                           for profiler in session.profilers]
+        self._pieces: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._pending = 0
+        self._intervals = 0
+        self.events_fed = 0
+
+    @property
+    def interval(self) -> IntervalSpec:
+        return self._session.interval
+
+    @property
+    def pending_events(self) -> int:
+        """Events observed in the currently-open interval."""
+        return self._pending
+
+    @property
+    def intervals_completed(self) -> int:
+        return self._intervals
+
+    def feed(self, pcs: np.ndarray, values: np.ndarray) -> int:
+        """Feed one batch of events; returns intervals closed by it.
+
+        The arrays must be parallel 1-D ``uint64`` PC/value arrays (any
+        integer dtype is coerced).  Batches may be any size: a batch
+        smaller than an interval leaves the interval open, a larger one
+        closes several intervals.
+        """
+        pcs = np.ascontiguousarray(pcs, dtype=np.uint64)
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if pcs.shape != values.shape or pcs.ndim != 1:
+            raise ValueError(
+                f"batch arrays must be parallel and 1-D, got shapes "
+                f"{pcs.shape} vs {values.shape}")
+        length = self.interval.length
+        closed = 0
+        offset = 0
+        total = len(pcs)
+        while offset < total:
+            take = min(total - offset, length - self._pending)
+            self._observe_piece(pcs[offset:offset + take],
+                                values[offset:offset + take])
+            offset += take
+            if self._pending == length:
+                self._close_interval(length)
+                closed += 1
+        return closed
+
+    def _observe_piece(self, pcs: np.ndarray, values: np.ndarray) -> None:
+        events = list(zip(pcs.tolist(), values.tolist()))
+        for profiler, functions in zip(self._session.profilers,
+                                       self._functions):
+            if functions is None:
+                profiler.observe_chunk(events, None)
+            else:
+                index_lists = [function.index_array(pcs, values).tolist()
+                               for function in functions]
+                profiler.observe_chunk(events, index_lists)
+        self._pieces.append((pcs, values))
+        self._pending += len(pcs)
+        self.events_fed += len(pcs)
+
+    def _close_interval(self, events_observed: int) -> None:
+        threshold = self.interval.threshold_count
+        truth, distinct = _interval_truth(self._pieces, threshold)
+        self._distinct.append(distinct)
+        self._perfect_profiles.append(IntervalProfile(
+            index=self._intervals,
+            candidates=truth.candidates,
+            events_observed=events_observed))
+        self._session._score_interval(self._results, truth, threshold)
+        self._pieces = []
+        self._pending = 0
+        self._intervals += 1
+
+    def flush(self) -> bool:
+        """Close the open interval early, if any events are pending.
+
+        The flushed interval is scored against exact truth over its
+        partial event count, with the full interval's candidate
+        threshold (``events_observed`` records the true size).  Used on
+        stream close / graceful server shutdown so trailing events are
+        reported rather than silently dropped.  Returns whether an
+        interval was flushed.
+        """
+        if not self._pending:
+            return False
+        self._close_interval(self._pending)
+        return True
+
+    def snapshot(self) -> SessionResult:
+        """Current results over all *completed* intervals.
+
+        The returned object shares state with the feeder; treat it as
+        a read-only view.
+        """
+        return SessionResult(
+            interval=self.interval,
+            results=self._results,
+            perfect_profiles=self._perfect_profiles,
+            distinct_per_interval=self._distinct,
+        )
+
+    def finish(self, flush_partial: bool = False) -> SessionResult:
+        """Stop feeding and return the final results.
+
+        With ``flush_partial`` the open interval (if any) is closed and
+        scored; otherwise trailing events are discarded, matching
+        :meth:`ProfilingSession.run` (the paper's metrics are defined
+        over full intervals only).
+        """
+        if flush_partial:
+            self.flush()
+        else:
+            self._pieces = []
+            self._pending = 0
+        return self.snapshot()
+
+    def trim(self, max_profiles: int) -> None:
+        """Bound memory on endless streams: keep only the most recent
+        *max_profiles* per-interval profiles (error summaries still
+        cover every interval)."""
+        if max_profiles < 0:
+            raise ValueError(f"max_profiles must be >= 0, "
+                             f"got {max_profiles}")
+        del self._perfect_profiles[:max(
+            0, len(self._perfect_profiles) - max_profiles)]
+        for result in self._results.values():
+            del result.profiles[:max(0, len(result.profiles)
+                                     - max_profiles)]
 
 
 class _IntervalTruth:

@@ -1,0 +1,35 @@
+"""Multi-tenant streaming profile service.
+
+The paper's profiler is an always-on hardware unit: it continuously
+watches an event stream and keeps a live set of hot candidates within a
+tiny fixed budget.  This package turns the reproduction's batch
+:class:`~repro.profiling.session.ProfilingSession` into that shape as a
+long-running server:
+
+* :mod:`repro.service.protocol` -- versioned, length-prefixed binary
+  wire format for event batches, control messages, and snapshots;
+* :mod:`repro.service.routing` -- consistent-hash routing of stream ids
+  onto worker shards;
+* :mod:`repro.service.worker` -- per-shard worker processes owning the
+  profiling sessions (driven through the vectorized chunked path);
+* :mod:`repro.service.server` -- asyncio accept loop, backpressure,
+  and graceful drain;
+* :mod:`repro.service.client` -- blocking client for traces,
+  calibrated benchmark streams, and raw arrays.
+
+See ``docs/SERVICE.md`` for the wire format and operational semantics.
+"""
+
+from .client import ProfileClient, ServiceError
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .routing import HashRing
+from .server import ProfileServer
+
+__all__ = [
+    "HashRing",
+    "PROTOCOL_VERSION",
+    "ProfileClient",
+    "ProfileServer",
+    "ProtocolError",
+    "ServiceError",
+]

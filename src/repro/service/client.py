@@ -1,0 +1,186 @@
+"""Blocking client for the profile service.
+
+One :class:`ProfileClient` wraps one TCP connection.  Requests are
+strictly ordered on a connection (the server replies before reading the
+next frame), so a client streaming one stream's batches gets the same
+interval boundaries as an in-process session run -- batches cannot
+overtake each other.
+
+Beyond raw array pushes the client knows the repository's sources: it
+can stream a recorded :class:`~repro.workloads.traces.Trace` or a
+calibrated benchmark generator in fixed-size batches, which is what the
+``repro-profile push`` subcommand uses.
+
+Transient ``busy`` replies (shard queue full -- the server's
+backpressure signal) are retried with exponential backoff; every other
+error reply raises :class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import ProfilerConfig
+from ..workloads.traces import Trace
+from . import protocol
+from .protocol import ProtocolError
+
+#: Default events per pushed batch.
+DEFAULT_BATCH_EVENTS = 8192
+
+#: Backoff schedule for ``busy`` replies: base delay and retry cap.
+BUSY_BASE_DELAY = 0.02
+BUSY_RETRIES = 8
+
+
+class ServiceError(Exception):
+    """The server answered with an error reply.
+
+    ``code`` carries the server's machine-readable slug (for example
+    ``unknown-stream``, ``busy``, ``bad-config``).
+    """
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ProfileClient:
+    """Blocking connection to a :class:`~repro.service.server.ProfileServer`.
+
+    Usable as a context manager; :meth:`close` only closes the socket,
+    it does not close open streams (use :meth:`close_stream`).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 30.0) -> None:
+        self._socket = socket.create_connection((host, port),
+                                                timeout=timeout)
+        self.host = host
+        self.port = port
+
+    # -- stream operations ---------------------------------------------
+
+    def open_stream(self, stream: str,
+                    config: Optional[ProfilerConfig] = None
+                    ) -> Dict[str, Any]:
+        """Open *stream* under *config* (default :class:`ProfilerConfig`)."""
+        config = config if config is not None else ProfilerConfig()
+        return self._request(protocol.encode_json(
+            protocol.T_OPEN,
+            {"stream": stream, "config": config.to_dict()}))
+
+    def push(self, stream: str, pcs: np.ndarray,
+             values: np.ndarray) -> Dict[str, Any]:
+        """Push one event batch; retries while the shard is busy."""
+        frame = protocol.encode_batch(stream, pcs, values)
+        delay = BUSY_BASE_DELAY
+        for attempt in range(BUSY_RETRIES):
+            try:
+                return self._request(frame)
+            except ServiceError as error:
+                if error.code != "busy" or attempt == BUSY_RETRIES - 1:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")
+
+    def push_arrays(self, stream: str, pcs: np.ndarray,
+                    values: np.ndarray,
+                    batch_events: int = DEFAULT_BATCH_EVENTS
+                    ) -> Dict[str, Any]:
+        """Push parallel arrays in *batch_events*-sized batches."""
+        if batch_events < 1:
+            raise ValueError(f"batch_events must be >= 1, "
+                             f"got {batch_events}")
+        reply: Dict[str, Any] = {}
+        for start in range(0, len(pcs), batch_events):
+            stop = start + batch_events
+            reply = self.push(stream, pcs[start:stop],
+                              values[start:stop])
+        return reply
+
+    def push_trace(self, stream: str, trace: Trace,
+                   batch_events: int = DEFAULT_BATCH_EVENTS
+                   ) -> Dict[str, Any]:
+        """Stream a recorded trace, batch by batch."""
+        return self.push_arrays(stream, trace.pcs, trace.values,
+                                batch_events)
+
+    def push_generator(self, stream: str, generator, events: int,
+                       batch_events: int = DEFAULT_BATCH_EVENTS
+                       ) -> Dict[str, Any]:
+        """Stream *events* events from a chunked generator.
+
+        *generator* is anything with a ``chunk(count) -> (pcs, values)``
+        method (e.g. :class:`~repro.workloads.generators.TupleStreamGenerator`).
+        """
+        reply: Dict[str, Any] = {}
+        remaining = events
+        while remaining > 0:
+            count = min(remaining, batch_events)
+            pcs, values = generator.chunk(count)
+            reply = self.push(stream, pcs, values)
+            remaining -= count
+        return reply
+
+    def snapshot(self, stream: str) -> Dict[str, Any]:
+        """Live snapshot: completed intervals, candidates, error summary."""
+        reply = self._request(protocol.encode_json(
+            protocol.T_SNAPSHOT, {"stream": stream}))
+        return reply["snapshot"]
+
+    def close_stream(self, stream: str) -> Dict[str, Any]:
+        """Close *stream*; the final snapshot includes the flushed
+        trailing interval, if one was open."""
+        reply = self._request(protocol.encode_json(
+            protocol.T_CLOSE, {"stream": stream}))
+        return reply["snapshot"]
+
+    def server_stats(self) -> Dict[str, Any]:
+        """Server- and worker-level statistics."""
+        return self._request(protocol.encode_json(protocol.T_STATS, {}))
+
+    # -- plumbing ------------------------------------------------------
+
+    def close(self) -> None:
+        self._socket.close()
+
+    def __enter__(self) -> "ProfileClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, frame: bytes) -> Dict[str, Any]:
+        self._socket.sendall(frame)
+        msg_type, payload = self._read_frame()
+        body = protocol.decode_json(payload)
+        if msg_type == protocol.T_ERROR:
+            raise ServiceError(body.get("error", "unknown error"),
+                               body.get("code", "error"))
+        if msg_type != protocol.T_OK:
+            raise ProtocolError(f"unexpected reply frame type "
+                                f"{msg_type:#04x}")
+        return body
+
+    def _read_frame(self) -> Tuple[int, bytes]:
+        header = self._recv_exact(protocol.HEADER.size)
+        msg_type, length = protocol.decode_header(header)
+        return msg_type, self._recv_exact(length)
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining > 0:
+            chunk = self._socket.recv(remaining)
+            if not chunk:
+                raise ConnectionError(
+                    "server closed the connection mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)

@@ -1,0 +1,166 @@
+"""Wire protocol of the profile service.
+
+Every message is one *frame*::
+
+    +-------+---------+------+----------------+---------·········--+
+    | magic | version | type | payload length |      payload       |
+    | u16   | u8      | u8   | u32            | length bytes       |
+    +-------+---------+------+----------------+---------·········--+
+
+All integers are big-endian.  Control messages (open/close/snapshot/
+stats and their replies) carry a UTF-8 JSON object as payload.  Event
+batches (:data:`T_BATCH`) carry a small JSON header followed by the raw
+little-endian ``uint64`` PC and value arrays::
+
+    +-----------+--------·····-+------·····---+--------·····--+
+    | headerlen | JSON header  | pcs bytes    | values bytes  |
+    | u32       |              | count * 8    | count * 8     |
+    +-----------+--------·····-+------·····---+--------·····--+
+
+where the JSON header is ``{"stream": <id>, "count": <events>}``.
+Arrays travel as raw bytes so a batch costs 16 bytes/event plus a
+constant -- no per-event encoding on either side; both ends hand the
+buffers straight to numpy.
+
+Malformed input (bad magic, unknown version, oversized or truncated
+payloads, inconsistent batch sizes, invalid JSON) raises
+:class:`ProtocolError`; the server answers with a :data:`T_ERROR`
+frame where the stream is still framed, and closes the connection
+where it is not (a bad magic number means the byte stream can no
+longer be trusted).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+#: Frame magic: rejects non-protocol peers immediately.
+MAGIC = 0xCAF1
+
+#: Bump on any incompatible frame or payload change.
+PROTOCOL_VERSION = 1
+
+#: ``!`` big-endian: magic u16, version u8, type u8, payload length u32.
+HEADER = struct.Struct("!HBBI")
+
+#: One u32: length of the JSON header inside a batch payload.
+_BATCH_PREFIX = struct.Struct("!I")
+
+#: Upper bound on a single frame payload (64 MiB ~ 4M events/batch).
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+#: Wire dtype of the PC/value arrays.
+WIRE_DTYPE = np.dtype("<u8")
+
+# Request frame types.
+T_OPEN = 0x01      #: open a stream: {"stream", "config"}
+T_BATCH = 0x02     #: event batch (binary payload, see module docstring)
+T_SNAPSHOT = 0x03  #: live snapshot query: {"stream"}
+T_CLOSE = 0x04     #: close a stream (flushes the open interval): {"stream"}
+T_STATS = 0x05     #: server + worker statistics: {}
+
+# Reply frame types.
+T_OK = 0x10        #: success; JSON payload depends on the request
+T_ERROR = 0x11     #: failure: {"error": <message>, "code": <slug>}
+
+_KNOWN_TYPES = frozenset({T_OPEN, T_BATCH, T_SNAPSHOT, T_CLOSE, T_STATS,
+                          T_OK, T_ERROR})
+
+
+class ProtocolError(Exception):
+    """The peer sent bytes that are not a valid protocol frame."""
+
+
+def encode_frame(msg_type: int, payload: bytes) -> bytes:
+    """Frame *payload* under *msg_type*."""
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"payload of {len(payload)} bytes exceeds "
+                            f"the {MAX_PAYLOAD}-byte frame limit")
+    return HEADER.pack(MAGIC, PROTOCOL_VERSION, msg_type,
+                       len(payload)) + payload
+
+
+def decode_header(data: bytes) -> Tuple[int, int]:
+    """Parse a frame header into ``(msg_type, payload_length)``."""
+    if len(data) != HEADER.size:
+        raise ProtocolError(f"short frame header: {len(data)} bytes")
+    magic, version, msg_type, length = HEADER.unpack(data)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic:#06x}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version} "
+                            f"(this end speaks {PROTOCOL_VERSION})")
+    if msg_type not in _KNOWN_TYPES:
+        raise ProtocolError(f"unknown frame type {msg_type:#04x}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"payload length {length} exceeds the "
+                            f"{MAX_PAYLOAD}-byte frame limit")
+    return msg_type, length
+
+
+def encode_json(msg_type: int, body: Dict[str, Any]) -> bytes:
+    """Frame a JSON control message."""
+    return encode_frame(msg_type,
+                        json.dumps(body, separators=(",", ":"))
+                        .encode("utf-8"))
+
+
+def decode_json(payload: bytes) -> Dict[str, Any]:
+    """Parse a JSON control payload, insisting on an object."""
+    try:
+        body = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"invalid JSON payload: {error}") from None
+    if not isinstance(body, dict):
+        raise ProtocolError(f"JSON payload must be an object, "
+                            f"got {type(body).__name__}")
+    return body
+
+
+def encode_batch(stream: str, pcs: np.ndarray,
+                 values: np.ndarray) -> bytes:
+    """Frame one event batch for *stream*."""
+    pcs = np.ascontiguousarray(pcs, dtype=WIRE_DTYPE)
+    values = np.ascontiguousarray(values, dtype=WIRE_DTYPE)
+    if pcs.shape != values.shape or pcs.ndim != 1:
+        raise ValueError(f"batch arrays must be parallel and 1-D, got "
+                         f"shapes {pcs.shape} vs {values.shape}")
+    header = json.dumps({"stream": stream, "count": len(pcs)},
+                        separators=(",", ":")).encode("utf-8")
+    payload = (_BATCH_PREFIX.pack(len(header)) + header
+               + pcs.tobytes() + values.tobytes())
+    return encode_frame(T_BATCH, payload)
+
+
+def decode_batch(payload: bytes) -> Tuple[str, np.ndarray, np.ndarray]:
+    """Parse a batch payload into ``(stream, pcs, values)``."""
+    if len(payload) < _BATCH_PREFIX.size:
+        raise ProtocolError("batch payload shorter than its header "
+                            "length prefix")
+    (header_length,) = _BATCH_PREFIX.unpack_from(payload)
+    body_start = _BATCH_PREFIX.size + header_length
+    if body_start > len(payload):
+        raise ProtocolError(f"batch header length {header_length} "
+                            f"overruns the payload")
+    header = decode_json(payload[_BATCH_PREFIX.size:body_start])
+    stream = header.get("stream")
+    count = header.get("count")
+    if not isinstance(stream, str) or not stream:
+        raise ProtocolError("batch header is missing a stream id")
+    if not isinstance(count, int) or count < 0:
+        raise ProtocolError(f"bad batch event count: {count!r}")
+    expected = count * WIRE_DTYPE.itemsize * 2
+    if len(payload) - body_start != expected:
+        raise ProtocolError(
+            f"batch declares {count} events ({expected} array bytes) "
+            f"but carries {len(payload) - body_start}")
+    array_bytes = count * WIRE_DTYPE.itemsize
+    pcs = np.frombuffer(payload, dtype=WIRE_DTYPE, count=count,
+                        offset=body_start)
+    values = np.frombuffer(payload, dtype=WIRE_DTYPE, count=count,
+                           offset=body_start + array_bytes)
+    return stream, pcs, values

@@ -1,0 +1,68 @@
+"""Consistent-hash routing of stream ids onto worker shards.
+
+Every stream id maps to exactly one worker, so one worker owns each
+stream's profiling session and interval boundaries stay coherent
+without cross-process locking.  A consistent ring (rather than
+``hash(id) % n``) keeps the assignment stable under resharding: when a
+worker is added or removed only ``~1/n`` of the streams move, which is
+what lets a future operator grow the pool under live traffic without
+invalidating every open session.
+
+The ring hashes with BLAKE2b so placements are deterministic across
+processes and Python runs (the builtin ``hash`` is salted per
+process).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence
+
+
+def _point(key: str) -> int:
+    """Position of *key* on the 64-bit ring."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class HashRing:
+    """A consistent-hash ring over a fixed set of shard ids.
+
+    Parameters
+    ----------
+    shards:
+        Shard identifiers (e.g. ``range(num_workers)``).
+    replicas:
+        Virtual nodes per shard; more replicas smooth the load split at
+        the cost of a larger (still tiny) ring.
+    """
+
+    def __init__(self, shards: Sequence[int],
+                 replicas: int = 64) -> None:
+        if not shards:
+            raise ValueError("at least one shard is required")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.shards = list(shards)
+        self.replicas = replicas
+        points: Dict[int, int] = {}
+        for shard in self.shards:
+            for replica in range(replicas):
+                points[_point(f"shard:{shard}:{replica}")] = shard
+        self._points: List[int] = sorted(points)
+        self._owners = [points[p] for p in self._points]
+
+    def shard_for(self, stream: str) -> int:
+        """The shard owning *stream*."""
+        position = bisect.bisect(self._points, _point(f"key:{stream}"))
+        if position == len(self._points):
+            position = 0
+        return self._owners[position]
+
+    def spread(self, streams: Sequence[str]) -> Dict[int, int]:
+        """Streams per shard, for balance diagnostics."""
+        counts = {shard: 0 for shard in self.shards}
+        for stream in streams:
+            counts[self.shard_for(stream)] += 1
+        return counts

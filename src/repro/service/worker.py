@@ -1,0 +1,249 @@
+"""Shard worker: owns profiling sessions, one process per shard.
+
+A worker is a ``multiprocessing`` process looping over a bounded
+request queue.  Each open stream maps to one
+:class:`~repro.profiling.session.SessionFeeder` driving a
+:class:`~repro.profiling.session.ProfilingSession` through the
+vectorized ``observe_chunk`` path -- event batches arrive as raw
+``uint64`` buffers and go straight into numpy, so the per-event cost is
+the same as the in-process chunked fast path.
+
+The worker also keeps a running stats ledger (events, batches, busy
+seconds, per-stream interval counts) that the server polls on demand
+over the same request queue -- a "stats channel" multiplexed with the
+data plane, which keeps the worker single-threaded and lock-free.
+
+All replies are plain JSON-safe dicts tagged with the request id, so
+the server can multiplex many in-flight requests per worker.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from collections import OrderedDict
+from typing import Any, Dict
+
+import numpy as np
+
+from ..core.config import ProfilerConfig
+from ..profiling.session import ProfilingSession, SessionFeeder
+from .protocol import WIRE_DTYPE
+
+#: Closed-stream snapshots retained for late queries, per worker.
+MAX_FINISHED_STREAMS = 128
+
+
+class _StreamState:
+    """One open stream: its feeder plus per-stream accounting."""
+
+    def __init__(self, stream: str, config: ProfilerConfig) -> None:
+        self.stream = stream
+        self.config = config
+        self.session = ProfilingSession(config, keep_profiles=True)
+        self.feeder: SessionFeeder = self.session.feeder()
+        self.batches = 0
+
+
+def snapshot_dict(state: _StreamState, max_intervals: int,
+                  final: bool = False,
+                  flushed: bool = False) -> Dict[str, Any]:
+    """JSON-safe snapshot of one stream's current results.
+
+    Candidate tuples are reported as ``[pc, value, count]`` triples (the
+    hardware profiler's view); the summary carries the paper's net
+    error and four-way breakdown over every completed interval.
+    """
+    view = state.feeder.snapshot()
+    result = view.single()
+    summary = result.summary
+    errors = {e.index: e.total for e in summary.intervals}
+    intervals = [
+        {
+            "index": profile.index,
+            "events_observed": profile.events_observed,
+            "error_percent": 100.0 * errors.get(profile.index, 0.0),
+            "candidates": [[int(pc), int(value), int(count)]
+                           for (pc, value), count
+                           in sorted(profile.candidates.items(),
+                                     key=lambda item: -item[1])],
+        }
+        for profile in result.profiles[-max_intervals:]
+    ]
+    return {
+        "stream": state.stream,
+        "profiler": state.config.label,
+        "final": final,
+        "flushed_partial": flushed,
+        "events": state.feeder.events_fed,
+        "pending_events": state.feeder.pending_events,
+        "intervals_completed": state.feeder.intervals_completed,
+        "batches": state.batches,
+        "intervals": intervals,
+        "summary": {
+            "num_intervals": summary.num_intervals,
+            "net_error_percent": summary.percent(),
+            "breakdown_percent": summary.breakdown_percent(),
+            "per_interval_error_percent": [100.0 * value
+                                           for value in summary.series()],
+        },
+    }
+
+
+class _Worker:
+    """Request-loop state for one shard process."""
+
+    def __init__(self, worker_id: int, snapshot_intervals: int) -> None:
+        self.worker_id = worker_id
+        self.snapshot_intervals = snapshot_intervals
+        self.streams: Dict[str, _StreamState] = {}
+        self.finished: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.events = 0
+        self.batches = 0
+        self.busy_seconds = 0.0
+        self.streams_opened = 0
+
+    # -- operations ----------------------------------------------------
+
+    def open(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        stream = message["stream"]
+        if stream in self.streams:
+            return _error(f"stream {stream!r} is already open",
+                          "stream-exists")
+        try:
+            config = ProfilerConfig.from_dict(message["config"])
+        except (ValueError, TypeError, KeyError) as error:
+            return _error(f"bad profiler config: {error}", "bad-config")
+        self.streams[stream] = _StreamState(stream, config)
+        self.finished.pop(stream, None)
+        self.streams_opened += 1
+        return {"ok": True, "stream": stream, "shard": self.worker_id,
+                "profiler": config.label,
+                "interval_length": config.interval.length}
+
+    def batch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        state = self.streams.get(message["stream"])
+        if state is None:
+            return _error(f"stream {message['stream']!r} is not open",
+                          "unknown-stream")
+        pcs = np.frombuffer(message["pcs"], dtype=WIRE_DTYPE)
+        values = np.frombuffer(message["values"], dtype=WIRE_DTYPE)
+        started = time.perf_counter()
+        closed = state.feeder.feed(pcs, values)
+        self.busy_seconds += time.perf_counter() - started
+        state.batches += 1
+        self.batches += 1
+        self.events += len(pcs)
+        if closed:
+            state.feeder.trim(self.snapshot_intervals)
+        return {"ok": True, "stream": state.stream,
+                "events": state.feeder.events_fed,
+                "intervals_completed": state.feeder.intervals_completed,
+                "intervals_closed": closed}
+
+    def snapshot(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        stream = message["stream"]
+        state = self.streams.get(stream)
+        if state is None:
+            late = self.finished.get(stream)
+            if late is not None:
+                return {"ok": True, "snapshot": late}
+            return _error(f"stream {stream!r} is not open",
+                          "unknown-stream")
+        return {"ok": True,
+                "snapshot": snapshot_dict(state, self.snapshot_intervals)}
+
+    def close(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        state = self.streams.pop(message["stream"], None)
+        if state is None:
+            return _error(f"stream {message['stream']!r} is not open",
+                          "unknown-stream")
+        return {"ok": True, "snapshot": self._finish(state)}
+
+    def stats(self) -> Dict[str, Any]:
+        per_stream = {
+            stream: {"events": state.feeder.events_fed,
+                     "intervals_completed":
+                         state.feeder.intervals_completed,
+                     "pending_events": state.feeder.pending_events,
+                     "batches": state.batches}
+            for stream, state in self.streams.items()}
+        busy = self.busy_seconds
+        return {"ok": True, "stats": {
+            "worker": self.worker_id,
+            "events": self.events,
+            "batches": self.batches,
+            "busy_seconds": busy,
+            "events_per_second": (self.events / busy) if busy else 0.0,
+            "chunk_latency_ms": (1000.0 * busy / self.batches
+                                 if self.batches else 0.0),
+            "streams_open": len(self.streams),
+            "streams_opened": self.streams_opened,
+            "streams": per_stream,
+        }}
+
+    def drain(self) -> Dict[str, Any]:
+        """Flush every open stream's trailing interval (shutdown path)."""
+        drained = [self._finish(state)
+                   for state in list(self.streams.values())]
+        self.streams.clear()
+        return {"ok": True, "drained": [d["stream"] for d in drained]}
+
+    # -- helpers -------------------------------------------------------
+
+    def _finish(self, state: _StreamState) -> Dict[str, Any]:
+        flushed = state.feeder.flush()
+        final = snapshot_dict(state, self.snapshot_intervals,
+                              final=True, flushed=flushed)
+        self.finished[state.stream] = final
+        while len(self.finished) > MAX_FINISHED_STREAMS:
+            self.finished.popitem(last=False)
+        return final
+
+
+def _error(message: str, code: str) -> Dict[str, Any]:
+    return {"ok": False, "error": message, "code": code}
+
+
+def worker_main(worker_id: int, requests, replies,
+                snapshot_intervals: int) -> None:
+    """Process entry point: serve *requests* until a shutdown message.
+
+    Every request dict carries ``op`` and ``req`` (the correlation id
+    echoed on the reply).  Unknown ops are answered with an error
+    rather than crashing the shard.
+    """
+    # A terminal ctrl-c signals the whole foreground process group;
+    # shutdown is coordinated by the server via the request queue, so
+    # the shard must not die out from under it mid-drain.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
+    worker = _Worker(worker_id, snapshot_intervals)
+    while True:
+        message = requests.get()
+        op = message.get("op")
+        if op == "shutdown":
+            reply = worker.drain()
+            reply["req"] = message.get("req")
+            replies.put(reply)
+            break
+        try:
+            if op == "open":
+                reply = worker.open(message)
+            elif op == "batch":
+                reply = worker.batch(message)
+            elif op == "snapshot":
+                reply = worker.snapshot(message)
+            elif op == "close":
+                reply = worker.close(message)
+            elif op == "stats":
+                reply = worker.stats()
+            else:
+                reply = _error(f"unknown worker op {op!r}", "bad-op")
+        except Exception as error:  # noqa: BLE001 - shard must survive
+            reply = _error(f"worker {worker_id} failed on {op!r}: "
+                           f"{error}", "worker-error")
+        reply["req"] = message.get("req")
+        replies.put(reply)

@@ -1,5 +1,7 @@
 """Tests for the repro-profile CLI (repro.cli)."""
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, config_from_args, main
@@ -72,3 +74,113 @@ class TestCommands:
         # 2048 counters over 3 tables is not a power-of-two split.
         assert main(["stream", "--tables", "3"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestRecordTraceStreamRoundTrip:
+    """record -> trace replay must reproduce the live stream exactly.
+
+    A synthetic stream's content depends on how its RNG draws are
+    batched, so the recording uses ``--chunk`` to match the live
+    session's per-interval chunking; with that pinned, the replayed
+    trace and the live stream are the same events and every error
+    number agrees to the printed digit.
+    """
+
+    #: A deliberately stressed configuration (one tiny table, no
+    #: retaining) so the compared summaries are far from 0 % and the
+    #: comparison has teeth.
+    FLAGS = ["--tables", "1", "--entries", "64", "--no-retaining",
+             "--interval", "6000"]
+
+    @staticmethod
+    def _net_error_line(out: str) -> str:
+        match = re.search(r"net error: [\d.]+%.*", out)
+        assert match, f"no net-error line in output:\n{out}"
+        return match.group(0)
+
+    def test_trace_replay_matches_live_stream(self, tmp_path, capsys):
+        path = str(tmp_path / "gcc.npz")
+        assert main(["record", "--benchmark", "gcc", "--seed", "9",
+                     "--events", "12000", "--chunk", "6000",
+                     "-o", path]) == 0
+        capsys.readouterr()
+
+        assert main(["stream", "--benchmark", "gcc", "--seed", "9",
+                     "--intervals", "2"] + self.FLAGS) == 0
+        live = capsys.readouterr().out
+
+        assert main(["trace", path] + self.FLAGS) == 0
+        replay = capsys.readouterr().out
+
+        assert self._net_error_line(live) == self._net_error_line(replay)
+        # Per-interval candidate tables agree as well, not just the net.
+        live_intervals = re.findall(r"interval \d+: .*", live)
+        replay_intervals = re.findall(r"interval \d+: .*", replay)
+        assert live_intervals == replay_intervals
+
+    def test_unmatched_chunking_documents_the_flag(self, tmp_path,
+                                                   capsys):
+        # Without --chunk the recording draws in different batches and
+        # is a *different* (equally valid) stream -- the reason the
+        # flag exists.  It must still replay cleanly.
+        path = str(tmp_path / "gcc-default.npz")
+        assert main(["record", "--benchmark", "gcc", "--seed", "9",
+                     "--events", "12000", "-o", path]) == 0
+        assert main(["trace", path] + self.FLAGS) == 0
+        out = capsys.readouterr().out
+        assert "net error" in out
+
+
+class TestServiceCommands:
+    def test_push_and_snapshot_against_live_server(self, capsys):
+        from repro.service import ProfileServer
+
+        with ProfileServer(num_workers=2) as server:
+            port = str(server.port)
+            assert main(["push", "--port", port, "--stream", "cli-s1",
+                         "--benchmark", "li", "--events", "8000",
+                         "--interval", "2000", "--entries", "256",
+                         "--batch", "1000", "--keep-open",
+                         "--top", "3"]) == 0
+            pushed = capsys.readouterr().out
+            assert "opened stream cli-s1" in pushed
+            assert "4 intervals complete" in pushed
+            assert "net error" in pushed
+
+            assert main(["snapshot", "--port", port,
+                         "--stream", "cli-s1"]) == 0
+            assert "cli-s1" in capsys.readouterr().out
+
+            assert main(["snapshot", "--port", port, "--stats"]) == 0
+            stats = capsys.readouterr().out
+            assert '"streams_open": 1' in stats
+
+    def test_push_close_prints_final_snapshot(self, capsys):
+        from repro.service import ProfileServer
+
+        with ProfileServer(num_workers=1) as server:
+            assert main(["push", "--port", str(server.port),
+                         "--stream", "cli-s2", "--benchmark", "li",
+                         "--events", "5000", "--interval", "2000",
+                         "--entries", "256"]) == 0
+            out = capsys.readouterr().out
+            assert "final" in out
+            assert "flushed partial interval" in out
+
+    def test_snapshot_unknown_stream_is_an_error(self, capsys):
+        from repro.service import ProfileServer
+
+        with ProfileServer(num_workers=1) as server:
+            assert main(["snapshot", "--port", str(server.port),
+                         "--stream", "ghost"]) == 2
+            assert "unknown-stream" in capsys.readouterr().err
+
+    def test_connection_refused_is_an_error(self, capsys):
+        # Nothing listens on port 1; the CLI must fail cleanly with a
+        # diagnostic, not a traceback.
+        assert main(["snapshot", "--port", "1", "--stream", "x"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_snapshot_requires_stream_or_stats(self, capsys):
+        assert main(["snapshot", "--port", "7071"]) == 2
+        assert "--stream" in capsys.readouterr().err

@@ -1,6 +1,10 @@
 """Tests for profiler configuration (repro.core.config)."""
 
+import json
+
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.config import (LONG_INTERVAL, SHORT_INTERVAL, IntervalSpec,
                                ProfilerConfig, best_multi_hash,
@@ -81,6 +85,71 @@ class TestProfilerConfig:
     def test_with_interval_copies(self):
         other = best_multi_hash().with_interval(LONG_INTERVAL)
         assert other.interval == LONG_INTERVAL
+
+
+#: Interval specs honouring threshold * length >= 1.
+interval_specs = st.builds(
+    IntervalSpec,
+    length=st.integers(min_value=1_000, max_value=2_000_000),
+    threshold=st.sampled_from([0.001, 0.002, 0.005, 0.01, 0.02, 0.1]))
+
+
+@st.composite
+def profiler_configs(draw):
+    """Valid configs: per-table entry counts stay powers of two."""
+    num_tables = draw(st.sampled_from([1, 2, 4, 8]))
+    per_table = 1 << draw(st.integers(min_value=3, max_value=11))
+    return ProfilerConfig(
+        interval=draw(interval_specs),
+        total_entries=per_table * num_tables,
+        num_tables=num_tables,
+        counter_bits=draw(st.sampled_from([16, 24, 32])),
+        retaining=draw(st.booleans()),
+        resetting=draw(st.booleans()),
+        conservative_update=draw(st.booleans()),
+        shielding=draw(st.booleans()),
+        accumulator_entries=draw(st.one_of(
+            st.none(), st.integers(min_value=1, max_value=2048))),
+        hash_seed=draw(st.integers(min_value=0, max_value=2**32 - 1)))
+
+
+class TestSerialization:
+    def test_interval_round_trip(self):
+        assert IntervalSpec.from_dict(
+            SHORT_INTERVAL.to_dict()) == SHORT_INTERVAL
+
+    def test_config_round_trip_defaults(self):
+        config = ProfilerConfig()
+        assert ProfilerConfig.from_dict(config.to_dict()) == config
+
+    def test_dict_is_json_safe(self):
+        config = best_multi_hash(interval=LONG_INTERVAL)
+        wire = json.loads(json.dumps(config.to_dict()))
+        assert ProfilerConfig.from_dict(wire) == config
+
+    def test_missing_keys_use_defaults(self):
+        config = ProfilerConfig.from_dict({"num_tables": 2})
+        assert config.num_tables == 2
+        assert config.interval == SHORT_INTERVAL
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown ProfilerConfig"):
+            ProfilerConfig.from_dict({"tablez": 4})
+        with pytest.raises(ValueError, match="unknown IntervalSpec"):
+            IntervalSpec.from_dict({"length": 100, "thresh": 0.1})
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ValueError):
+            ProfilerConfig.from_dict({"num_tables": 3})
+
+    @given(profiler_configs())
+    def test_round_trip_property(self, config):
+        assert ProfilerConfig.from_dict(config.to_dict()) == config
+
+    @given(profiler_configs())
+    def test_json_round_trip_property(self, config):
+        wire = json.loads(json.dumps(config.to_dict()))
+        assert ProfilerConfig.from_dict(wire) == config
 
 
 class TestBestConfigs:

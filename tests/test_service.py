@@ -1,0 +1,407 @@
+"""Tests for the streaming profile service (repro.service).
+
+The load-bearing property is *equivalence*: candidates and error
+summaries obtained through the server -- streams pushed in arbitrary
+batches, sharded over multiple worker processes -- must be identical to
+a direct in-process :class:`ProfilingSession` run over the same events.
+Streams are compared via recorded traces because the synthetic
+generators' content depends on draw batching; traces pin the exact
+event sequence on both sides.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.core.config import IntervalSpec, ProfilerConfig
+from repro.profiling.session import ProfilingSession
+from repro.service import (HashRing, ProfileClient, ProfileServer,
+                           ProtocolError, ServiceError)
+from repro.service import protocol
+from repro.service.worker import _Worker
+from repro.workloads.benchmarks import benchmark_generator
+from repro.workloads.traces import Trace
+
+INTERVAL = IntervalSpec(length=2_000, threshold=0.01)
+CONFIG = ProfilerConfig(interval=INTERVAL, total_entries=256,
+                        num_tables=4, conservative_update=True)
+
+
+def make_trace(benchmark: str, seed: int, events: int) -> Trace:
+    pcs, values = benchmark_generator(benchmark,
+                                      seed=seed).chunk(events)
+    return Trace(pcs=pcs, values=values,
+                 source=f"benchmark:{benchmark}")
+
+
+def direct_run(trace: Trace, config: ProfilerConfig = CONFIG):
+    return ProfilingSession(config,
+                            keep_profiles=True).run(trace).single()
+
+
+def streams_on_distinct_shards(num_workers: int, count: int):
+    """Stream ids guaranteed to land on *count* distinct shards."""
+    ring = HashRing(range(num_workers))
+    chosen, shards = [], set()
+    index = 0
+    while len(chosen) < count:
+        stream = f"stream-{index}"
+        shard = ring.shard_for(stream)
+        if shard not in shards or len(shards) >= num_workers:
+            chosen.append(stream)
+            shards.add(shard)
+        index += 1
+    return chosen, shards
+
+
+def assert_matches_direct(snapshot: dict, direct) -> None:
+    """Server snapshot == direct in-process run, interval by interval."""
+    summary = direct.summary
+    assert snapshot["summary"]["num_intervals"] == summary.num_intervals
+    assert snapshot["summary"]["net_error_percent"] == pytest.approx(
+        summary.percent(), abs=1e-12)
+    assert snapshot["summary"]["per_interval_error_percent"] == \
+        pytest.approx([100.0 * e for e in summary.series()], abs=1e-12)
+    for wire, profile in zip(snapshot["intervals"], direct.profiles):
+        assert wire["index"] == profile.index
+        assert wire["events_observed"] == profile.events_observed
+        candidates = {(pc, value): count
+                      for pc, value, count in wire["candidates"]}
+        assert candidates == profile.candidates
+
+
+# ---------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------
+
+class TestProtocol:
+    def test_json_frame_round_trip(self):
+        frame = protocol.encode_json(protocol.T_OPEN,
+                                     {"stream": "s", "config": {}})
+        msg_type, length = protocol.decode_header(
+            frame[:protocol.HEADER.size])
+        assert msg_type == protocol.T_OPEN
+        body = protocol.decode_json(frame[protocol.HEADER.size:])
+        assert body == {"stream": "s", "config": {}}
+        assert length == len(frame) - protocol.HEADER.size
+
+    def test_batch_round_trip(self):
+        pcs = np.arange(100, dtype=np.uint64) * 8
+        values = np.arange(100, dtype=np.uint64) + (1 << 60)
+        frame = protocol.encode_batch("bench-1", pcs, values)
+        _, length = protocol.decode_header(frame[:protocol.HEADER.size])
+        stream, out_pcs, out_values = protocol.decode_batch(
+            frame[protocol.HEADER.size:])
+        assert stream == "bench-1"
+        np.testing.assert_array_equal(out_pcs, pcs)
+        np.testing.assert_array_equal(out_values, values)
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(protocol.encode_json(protocol.T_STATS, {}))
+        frame[0] ^= 0xFF
+        with pytest.raises(ProtocolError, match="bad magic"):
+            protocol.decode_header(bytes(frame[:protocol.HEADER.size]))
+
+    def test_bad_version_rejected(self):
+        frame = bytearray(protocol.encode_json(protocol.T_STATS, {}))
+        frame[2] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.decode_header(bytes(frame[:protocol.HEADER.size]))
+
+    def test_unknown_type_rejected(self):
+        header = protocol.HEADER.pack(protocol.MAGIC,
+                                      protocol.PROTOCOL_VERSION,
+                                      0x7F, 0)
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            protocol.decode_header(header)
+
+    def test_oversized_payload_rejected(self):
+        header = protocol.HEADER.pack(protocol.MAGIC,
+                                      protocol.PROTOCOL_VERSION,
+                                      protocol.T_STATS,
+                                      protocol.MAX_PAYLOAD + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.decode_header(header)
+
+    def test_batch_size_mismatch_rejected(self):
+        frame = protocol.encode_batch(
+            "s", np.arange(4, dtype=np.uint64),
+            np.arange(4, dtype=np.uint64))
+        with pytest.raises(ProtocolError, match="declares"):
+            protocol.decode_batch(frame[protocol.HEADER.size:-8])
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ProtocolError, match="object"):
+            protocol.decode_json(b"[1, 2]")
+
+
+# ---------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        streams = [f"s{i}" for i in range(200)]
+        first = [HashRing(range(4)).shard_for(s) for s in streams]
+        second = [HashRing(range(4)).shard_for(s) for s in streams]
+        assert first == second
+
+    def test_uses_every_shard(self):
+        ring = HashRing(range(4))
+        spread = ring.spread([f"s{i}" for i in range(400)])
+        assert all(count > 0 for count in spread.values())
+
+    def test_resharding_moves_few_streams(self):
+        streams = [f"s{i}" for i in range(1000)]
+        before = HashRing(range(4))
+        after = HashRing(range(5))
+        moved = sum(before.shard_for(s) != after.shard_for(s)
+                    for s in streams)
+        # A modulo split would move ~4/5 of the streams; consistent
+        # hashing should move roughly 1/5.
+        assert moved < len(streams) // 2
+
+
+# ---------------------------------------------------------------------
+# Worker (in-process unit tests, no multiprocessing)
+# ---------------------------------------------------------------------
+
+class TestWorker:
+    def _open(self, worker, stream="s1"):
+        reply = worker.open({"stream": stream,
+                             "config": CONFIG.to_dict()})
+        assert reply["ok"], reply
+        return reply
+
+    def test_open_twice_fails(self):
+        worker = _Worker(0, snapshot_intervals=8)
+        self._open(worker)
+        reply = worker.open({"stream": "s1",
+                             "config": CONFIG.to_dict()})
+        assert not reply["ok"] and reply["code"] == "stream-exists"
+
+    def test_batch_unknown_stream_fails(self):
+        worker = _Worker(0, snapshot_intervals=8)
+        reply = worker.batch({"stream": "nope", "pcs": b"",
+                              "values": b""})
+        assert not reply["ok"] and reply["code"] == "unknown-stream"
+
+    def test_bad_config_reported(self):
+        reply = _Worker(0, 8).open({"stream": "s",
+                                    "config": {"num_tables": 3}})
+        assert not reply["ok"] and reply["code"] == "bad-config"
+
+    def test_drain_flushes_open_interval(self):
+        worker = _Worker(0, snapshot_intervals=8)
+        self._open(worker)
+        trace = make_trace("li", seed=3,
+                           events=INTERVAL.length + 500)
+        worker.batch({"stream": "s1",
+                      "pcs": trace.pcs.tobytes(),
+                      "values": trace.values.tobytes()})
+        reply = worker.drain()
+        assert reply["ok"] and reply["drained"] == ["s1"]
+        final = worker.finished["s1"]
+        assert final["flushed_partial"]
+        assert final["summary"]["num_intervals"] == 2
+        assert final["intervals"][-1]["events_observed"] == 500
+
+    def test_stats_tracks_streams(self):
+        worker = _Worker(3, snapshot_intervals=8)
+        self._open(worker)
+        trace = make_trace("li", seed=4, events=3000)
+        worker.batch({"stream": "s1",
+                      "pcs": trace.pcs.tobytes(),
+                      "values": trace.values.tobytes()})
+        stats = worker.stats()["stats"]
+        assert stats["worker"] == 3
+        assert stats["events"] == 3000
+        assert stats["streams"]["s1"]["intervals_completed"] == 1
+        assert stats["streams"]["s1"]["pending_events"] == 1000
+        assert stats["events_per_second"] > 0
+
+
+# ---------------------------------------------------------------------
+# End-to-end server tests
+# ---------------------------------------------------------------------
+
+class TestServer:
+    def test_equivalence_across_shards_and_streams(self):
+        """The acceptance bar: two streams on two shards, pushed in
+        interleaved odd-sized batches from two concurrent client
+        connections, must match direct in-process runs exactly."""
+        streams, shards = streams_on_distinct_shards(2, 2)
+        traces = {
+            streams[0]: make_trace("li", seed=11,
+                                   events=3 * INTERVAL.length),
+            streams[1]: make_trace("gcc", seed=12,
+                                   events=3 * INTERVAL.length),
+        }
+        direct = {stream: direct_run(trace)
+                  for stream, trace in traces.items()}
+        with ProfileServer(num_workers=2) as server:
+            assert len(shards) == 2
+            clients = {stream: ProfileClient(port=server.port)
+                       for stream in streams}
+            try:
+                for stream, client in clients.items():
+                    client.open_stream(stream, CONFIG)
+                # Interleave batches of coprime sizes across streams.
+                cursors = {stream: 0 for stream in streams}
+                batch = {streams[0]: 700, streams[1]: 1234}
+                while any(cursors[s] < len(traces[s]) for s in streams):
+                    for stream in streams:
+                        start = cursors[stream]
+                        if start >= len(traces[stream]):
+                            continue
+                        stop = start + batch[stream]
+                        trace = traces[stream]
+                        clients[stream].push(
+                            stream, trace.pcs[start:stop],
+                            trace.values[start:stop])
+                        cursors[stream] = stop
+                for stream, client in clients.items():
+                    live = client.snapshot(stream)
+                    assert live["intervals_completed"] == 3
+                    final = client.close_stream(stream)
+                    assert final["final"]
+                    assert not final["flushed_partial"]
+                    assert_matches_direct(final, direct[stream])
+            finally:
+                for client in clients.values():
+                    client.close()
+
+    def test_graceful_close_flushes_final_open_interval(self):
+        trace = make_trace("li", seed=21,
+                           events=2 * INTERVAL.length + 750)
+        whole = direct_run(trace)  # 2 full intervals, tail discarded
+        with ProfileServer(num_workers=2) as server:
+            with ProfileClient(port=server.port) as client:
+                client.open_stream("flush-me", CONFIG)
+                client.push_trace("flush-me", trace, batch_events=997)
+                final = client.close_stream("flush-me")
+        assert final["flushed_partial"]
+        assert final["summary"]["num_intervals"] == 3
+        assert final["intervals"][-1]["events_observed"] == 750
+        # The full intervals are unaffected by the flush.
+        assert final["summary"]["per_interval_error_percent"][:2] == \
+            pytest.approx([100.0 * e for e in whole.summary.series()],
+                          abs=1e-12)
+
+    def test_snapshot_after_close_is_retained(self):
+        trace = make_trace("li", seed=22, events=INTERVAL.length)
+        with ProfileServer(num_workers=1) as server:
+            with ProfileClient(port=server.port) as client:
+                client.open_stream("s", CONFIG)
+                client.push_trace("s", trace)
+                client.close_stream("s")
+                late = client.snapshot("s")
+                assert late["final"]
+                assert late["summary"]["num_intervals"] == 1
+
+    def test_server_drain_on_stop_shuts_workers_down(self):
+        server = ProfileServer(num_workers=2)
+        server.start()
+        client = ProfileClient(port=server.port)
+        client.open_stream("open-at-shutdown", CONFIG)
+        client.push("open-at-shutdown",
+                    *benchmark_generator("li", seed=5).chunk(500))
+        client.close()
+        server.stop()
+        assert all(not handle.process.is_alive()
+                   for handle in server._workers)
+
+    def test_unknown_stream_errors(self):
+        with ProfileServer(num_workers=1) as server:
+            with ProfileClient(port=server.port) as client:
+                with pytest.raises(ServiceError) as exc:
+                    client.snapshot("never-opened")
+                assert exc.value.code == "unknown-stream"
+
+    def test_open_twice_errors(self):
+        with ProfileServer(num_workers=1) as server:
+            with ProfileClient(port=server.port) as client:
+                client.open_stream("dup", CONFIG)
+                with pytest.raises(ServiceError) as exc:
+                    client.open_stream("dup", CONFIG)
+                assert exc.value.code == "stream-exists"
+
+    def test_malformed_frame_answered_and_connection_dropped(self):
+        with ProfileServer(num_workers=1) as server:
+            with socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=10) as raw:
+                raw.sendall(b"\x00" * protocol.HEADER.size)
+                reply = raw.recv(65536)
+                msg_type, _ = protocol.decode_header(
+                    reply[:protocol.HEADER.size])
+                assert msg_type == protocol.T_ERROR
+                body = protocol.decode_json(
+                    reply[protocol.HEADER.size:])
+                assert body["code"] == "protocol"
+                assert raw.recv(1) == b""  # server hung up
+
+    def test_stats_cover_server_and_workers(self):
+        with ProfileServer(num_workers=2) as server:
+            with ProfileClient(port=server.port) as client:
+                client.open_stream("stat-stream", CONFIG)
+                client.push("stat-stream",
+                            *benchmark_generator("li",
+                                                 seed=6).chunk(4096))
+                stats = client.server_stats()
+        assert stats["server"]["num_workers"] == 2
+        assert stats["server"]["streams_open"] == 1
+        assert stats["server"]["frames"] >= 3
+        assert len(stats["workers"]) == 2
+        assert sum(w.get("events", 0) for w in stats["workers"]) == 4096
+
+    def test_smoke_push_benchmark_stream(self):
+        """CI smoke: start a server, push one benchmark stream,
+        assert a non-empty snapshot comes back."""
+        with ProfileServer(num_workers=2) as server:
+            with ProfileClient(port=server.port) as client:
+                client.open_stream("smoke", CONFIG)
+                client.push_generator(
+                    "smoke", benchmark_generator("gcc", seed=1),
+                    events=3 * INTERVAL.length, batch_events=4096)
+                snapshot = client.snapshot("smoke")
+        assert snapshot["intervals_completed"] == 3
+        assert snapshot["intervals"]
+        assert snapshot["intervals"][-1]["candidates"]
+        assert snapshot["summary"]["num_intervals"] == 3
+
+
+# ---------------------------------------------------------------------
+# Feeder equivalence (the property the service is built on)
+# ---------------------------------------------------------------------
+
+class TestFeederEquivalence:
+    @pytest.mark.parametrize("batch_events", [1, 357, 2_000, 4_999,
+                                              10_000])
+    def test_any_batching_matches_run(self, batch_events):
+        trace = make_trace("m88ksim", seed=31,
+                           events=4 * INTERVAL.length)
+        expected = direct_run(trace)
+        session = ProfilingSession(CONFIG, keep_profiles=True)
+        feeder = session.feeder()
+        for start in range(0, len(trace), batch_events):
+            stop = start + batch_events
+            feeder.feed(trace.pcs[start:stop],
+                        trace.values[start:stop])
+        result = feeder.finish().single()
+        assert result.summary.percent() == expected.summary.percent()
+        assert [p.candidates for p in result.profiles] == \
+            [p.candidates for p in expected.profiles]
+
+    def test_trim_bounds_profiles_keeps_summary(self):
+        trace = make_trace("li", seed=32, events=5 * INTERVAL.length)
+        session = ProfilingSession(CONFIG, keep_profiles=True)
+        feeder = session.feeder()
+        feeder.feed(trace.pcs, trace.values)
+        feeder.trim(2)
+        result = feeder.snapshot().single()
+        assert len(result.profiles) == 2
+        assert result.profiles[-1].index == 4
+        assert result.summary.num_intervals == 5
