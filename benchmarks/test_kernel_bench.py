@@ -1,0 +1,61 @@
+"""Throughput benchmarks for the profiler backends.
+
+Times the three feeding paths the CLI ``bench`` subcommand reports --
+the per-event scalar reference, the chunked scalar production path,
+and the vectorized array kernels -- on the paper's two headline
+architectures (fig07 best single-hash, fig12 best multi-hash) over a
+calibrated gcc stream.  pytest-benchmark handles the statistics::
+
+    PYTHONPATH=src pytest benchmarks/test_kernel_bench.py --benchmark-only
+
+The authoritative machine-readable numbers live in
+``benchmarks/results/BENCH_kernels.json``; regenerate them with
+``repro-profile bench``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import (_bench_feed_chunked, _bench_feed_scalar,
+                       _bench_feed_vectorized, _bench_profiler)
+from repro.core.config import (IntervalSpec, best_multi_hash,
+                               best_single_hash)
+from repro.workloads.benchmarks import benchmark_generator
+
+#: Four 10K-event intervals at 1 %: big enough to amortize chunk setup,
+#: small enough that the per-event reference rounds stay quick.
+SPEC = IntervalSpec(length=10_000, threshold=0.01)
+EVENTS = 40_000
+
+ARCHITECTURES = {
+    "fig07-single-hash": best_single_hash,
+    "fig12-multi-hash": best_multi_hash,
+}
+
+FEEDS = {
+    "scalar": ("scalar", _bench_feed_scalar),
+    "scalar-chunked": ("scalar", _bench_feed_chunked),
+    "vectorized": ("vectorized", _bench_feed_vectorized),
+}
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return benchmark_generator("gcc", seed=7).chunk(EVENTS)
+
+
+@pytest.mark.parametrize("architecture", sorted(ARCHITECTURES))
+@pytest.mark.parametrize("feed_name", sorted(FEEDS))
+def test_backend_throughput(benchmark, stream, architecture, feed_name):
+    backend, feed = FEEDS[feed_name]
+    config = ARCHITECTURES[architecture](SPEC).with_backend(backend)
+    pcs, values = stream
+
+    def round():
+        feed(_bench_profiler(config), pcs, values, SPEC)
+
+    benchmark.pedantic(round, rounds=3, iterations=1)
+    benchmark.extra_info["events"] = EVENTS
+    benchmark.extra_info["events_per_second"] = \
+        EVENTS / benchmark.stats.stats.min

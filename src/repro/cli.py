@@ -40,7 +40,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core.config import IntervalSpec, ProfilerConfig
+from .core.config import BACKENDS, IntervalSpec, ProfilerConfig
 from .core.tuples import EventKind
 from .metrics.reports import format_table
 from .profiling.session import ProfilingSession
@@ -126,6 +126,23 @@ def build_parser() -> argparse.ArgumentParser:
     push.add_argument("--top", type=int, default=10,
                       help="candidates to print from the last interval")
 
+    bench = commands.add_parser(
+        "bench", help="measure backend throughput (BENCH_kernels.json)")
+    bench.add_argument("--benchmark", default="gcc",
+                       choices=list(BENCHMARK_NAMES),
+                       help="calibrated workload (default gcc)")
+    bench.add_argument("--seed", type=int, default=7,
+                       help="stream seed (default 7)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repeats per chunked row, best taken "
+                            "(default 3; the per-event row runs once)")
+    bench.add_argument("--quick", action="store_true",
+                       help="tiny operating points for CI smoke runs")
+    bench.add_argument("-o", "--output",
+                       default="benchmarks/results/BENCH_kernels.json",
+                       help="result file (default "
+                            "benchmarks/results/BENCH_kernels.json)")
+
     snapshot = commands.add_parser(
         "snapshot", help="query a live stream snapshot or server stats")
     _add_service_flags(snapshot)
@@ -173,6 +190,12 @@ def _add_profiler_flags(parser: argparse.ArgumentParser) -> None:
                         help="enable immediate counter reset (R1)")
     parser.add_argument("--no-retaining", action="store_true",
                         help="disable accumulator retaining (P0)")
+    parser.add_argument("--backend", default="auto",
+                        choices=list(BACKENDS),
+                        help="event-processing backend: the NumPy batch "
+                             "kernels ('vectorized', the default via "
+                             "'auto') or the per-event reference "
+                             "('scalar')")
 
 
 def config_from_args(args: argparse.Namespace) -> ProfilerConfig:
@@ -184,6 +207,7 @@ def config_from_args(args: argparse.Namespace) -> ProfilerConfig:
                              and not args.no_conservative_update),
         resetting=args.resetting,
         retaining=not args.no_retaining,
+        backend=getattr(args, "backend", "auto"),
     )
 
 
@@ -353,6 +377,182 @@ def _push_with(client_type, args: argparse.Namespace, config) -> int:
     return 0
 
 
+#: Benchmark operating points: the paper's fig07/fig12 scale (three
+#: 200K-event intervals at 0.1 %) plus a short-interval point (thirty
+#: 10K-event intervals at 1 %) that stresses interval turnover.
+_BENCH_POINTS = [("long", 200_000, 0.001, 3), ("short", 10_000, 0.01, 30)]
+_BENCH_QUICK_POINTS = [("long", 20_000, 0.001, 2), ("short", 4_000, 0.01, 5)]
+
+
+def _bench_feed_scalar(profiler, pcs, values, spec):
+    """Per-event reference loop: ``observe()`` on every tuple."""
+    length = spec.length
+    observe = profiler.observe
+    for position, event in enumerate(zip(pcs.tolist(), values.tolist()),
+                                     start=1):
+        observe(event)
+        if position % length == 0:
+            profiler.end_interval()
+
+
+def _bench_feed_chunked(profiler, pcs, values, spec):
+    """The scalar production path: ``observe_chunk`` over event lists
+    with pre-hashed index lists, exactly as ``SessionFeeder`` feeds a
+    scalar profiler."""
+    from .profiling.session import CHUNK_EVENTS, ProfilingSession
+
+    functions = ProfilingSession._hash_functions(profiler)
+    length = spec.length
+    position = 0
+    while position < len(pcs):
+        take = min(CHUNK_EVENTS, length - position % length,
+                   len(pcs) - position)
+        piece_pcs = pcs[position:position + take]
+        piece_values = values[position:position + take]
+        events = list(zip(piece_pcs.tolist(), piece_values.tolist()))
+        index_lists = [function.index_array(piece_pcs, piece_values).tolist()
+                       for function in functions]
+        profiler.observe_chunk(events, index_lists)
+        position += take
+        if position % length == 0:
+            profiler.end_interval()
+
+
+def _bench_feed_vectorized(profiler, pcs, values, spec):
+    """The kernel path: ``observe_array_chunk`` on uint64 arrays."""
+    from .profiling.session import CHUNK_EVENTS
+
+    length = spec.length
+    position = 0
+    while position < len(pcs):
+        take = min(CHUNK_EVENTS, length - position % length,
+                   len(pcs) - position)
+        profiler.observe_array_chunk(pcs[position:position + take],
+                                     values[position:position + take])
+        position += take
+        if position % length == 0:
+            profiler.end_interval()
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """Measure profiler event throughput per backend and architecture.
+
+    Covers the paper's two headline architectures -- the fig07 best
+    single-hash (SH-R1-P1) and the fig12 best multi-hash (MH4-C1-P1)
+    -- at two operating points, with three rows each:
+
+    * ``scalar``: the per-event ``observe()`` reference loop the
+      kernels are parity-tested against (run once -- it is slow),
+    * ``scalar-chunked``: the scalar production path (``observe_chunk``
+      with vectorized pre-hashing, as ``SessionFeeder`` drives it),
+    * ``vectorized``: the NumPy array kernels.
+
+    Every row consumes the identical pre-generated stream, split at
+    interval boundaries; only profiler work is timed.  The headline
+    speedup is vectorized vs the per-event reference; the
+    chunked-baseline speedup is reported alongside so the comparison
+    against the tuned scalar path stays honest.
+    """
+    import json
+    import os
+    import time
+
+    from .core.config import best_multi_hash, best_single_hash
+
+    feeders = [("scalar", _bench_feed_scalar),
+               ("scalar-chunked", _bench_feed_chunked),
+               ("vectorized", _bench_feed_vectorized)]
+    points = _BENCH_QUICK_POINTS if args.quick else _BENCH_POINTS
+    workloads = []
+    speedups = {}
+    chunked_speedups = {}
+    for figure, factory in (("fig07", best_single_hash),
+                            ("fig12", best_multi_hash)):
+        for point, length, threshold, intervals in points:
+            spec = IntervalSpec(length, threshold)
+            config = factory(spec)
+            pcs, values = benchmark_generator(
+                args.benchmark, seed=args.seed).chunk(length * intervals)
+            rows = {}
+            for backend, feed in feeders:
+                resolved = config.with_backend(
+                    "vectorized" if backend == "vectorized" else "scalar")
+                repeats = 1 if backend == "scalar" else max(1, args.repeats)
+                elapsed = min(
+                    _timed(_bench_profiler(resolved), feed, pcs, values,
+                           spec, time)
+                    for _ in range(repeats))
+                rows[backend] = {
+                    "seconds": elapsed,
+                    "events_per_second": len(pcs) / elapsed,
+                }
+                print(f"{figure} {config.label:>14} {point:>5} "
+                      f"{backend:>14}: "
+                      f"{len(pcs) / elapsed:>12,.0f} events/s  "
+                      f"({elapsed:.3f}s)")
+            vec = rows["vectorized"]["events_per_second"]
+            speedup = vec / rows["scalar"]["events_per_second"]
+            chunked = vec / rows["scalar-chunked"]["events_per_second"]
+            key = f"{config.label}:{point}"
+            speedups[key] = speedup
+            chunked_speedups[key] = chunked
+            print(f"{figure} {config.label:>14} {point:>5}    speedup: "
+                  f"{speedup:.1f}x vs scalar, {chunked:.2f}x vs chunked")
+            workloads.append({
+                "figure": figure,
+                "architecture": config.label,
+                "point": point,
+                "interval_length": length,
+                "threshold": threshold,
+                "events": len(pcs),
+                "rows": rows,
+                "speedup_vs_scalar": speedup,
+                "speedup_vs_chunked": chunked,
+            })
+
+    report = {
+        "benchmark": args.benchmark,
+        "seed": args.seed,
+        "quick": bool(args.quick),
+        "workloads": workloads,
+        "speedups": speedups,
+        "chunked_speedups": chunked_speedups,
+    }
+    directory = os.path.dirname(args.output)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _bench_profiler(config):
+    """Build a profiler with its hash pipeline pre-warmed.
+
+    The vectorized hash functions build their folded lookup tables
+    lazily on first use; that one-time setup cost belongs to profiler
+    construction, not to the timed throughput loop.
+    """
+    import numpy as np
+
+    from .core.multi_hash import build_profiler
+    from .profiling.session import ProfilingSession
+
+    profiler = build_profiler(config)
+    probe = np.zeros(8, dtype=np.uint64)
+    for function in ProfilingSession._hash_functions(profiler) or []:
+        function.index_array(probe, probe)
+    return profiler
+
+
+def _timed(profiler, feed, pcs, values, spec, time) -> float:
+    started = time.perf_counter()
+    feed(profiler, pcs, values, spec)
+    return time.perf_counter() - started
+
+
 def _run_snapshot(args: argparse.Namespace) -> int:
     import json
 
@@ -379,7 +579,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"stream": _run_stream, "trace": _run_trace,
                 "record": _run_record, "serve": _run_serve,
-                "push": _run_push, "snapshot": _run_snapshot}
+                "push": _run_push, "snapshot": _run_snapshot,
+                "bench": _run_bench}
     try:
         return handlers[args.command](args)
     except (ValueError, FileNotFoundError) as error:

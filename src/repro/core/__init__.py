@@ -16,10 +16,13 @@ Public surface:
 """
 
 from .base import HardwareProfiler, IntervalProfile, ProfilerStats
-from .config import (DEFAULT_COUNTER_BITS, DEFAULT_TOTAL_ENTRIES,
-                     LONG_INTERVAL, SHORT_INTERVAL, IntervalSpec,
-                     ProfilerConfig, best_multi_hash, best_single_hash)
+from .config import (BACKEND_ENV, BACKENDS, DEFAULT_COUNTER_BITS,
+                     DEFAULT_TOTAL_ENTRIES, LONG_INTERVAL, SHORT_INTERVAL,
+                     IntervalSpec, ProfilerConfig, best_multi_hash,
+                     best_single_hash)
 from .hotspot import HotSpotConfig, HotSpotDetector
+from .kernels import (NumpyCounterTable, VectorizedMultiHashProfiler,
+                      VectorizedSingleHashProfiler)
 from .tagged_table import (TaggedTableConfig, TaggedTableProfiler,
                            area_equivalent_config)
 from .hashing import HashFunctionFamily, TupleHashFunction, flip, xor_fold
@@ -38,7 +41,12 @@ __all__ = [
     "HotSpotConfig",
     "AccumulatorEntry",
     "AccumulatorTable",
+    "BACKENDS",
+    "BACKEND_ENV",
     "CounterTable",
+    "NumpyCounterTable",
+    "VectorizedMultiHashProfiler",
+    "VectorizedSingleHashProfiler",
     "DEFAULT_COUNTER_BITS",
     "DEFAULT_TOTAL_ENTRIES",
     "EventKind",

@@ -93,6 +93,11 @@ class HardwareProfiler(abc.ABC):
     agree on interval boundaries.
     """
 
+    #: True when :meth:`observe_array_chunk` is a native batch kernel
+    #: (see :mod:`repro.core.kernels`); the session feeder then skips
+    #: materializing per-event tuple lists entirely.
+    supports_array_chunks: bool = False
+
     def __init__(self, interval: IntervalSpec) -> None:
         self.interval = interval
         self._interval_index = 0
@@ -152,6 +157,18 @@ class HardwareProfiler(abc.ABC):
         """
         for event in events:
             self.observe(event)
+
+    def observe_array_chunk(self, pcs, values) -> None:
+        """Feed parallel ``uint64`` PC/value arrays.
+
+        The chunk never spans an interval boundary (the session feeder
+        guarantees this).  The base implementation loops
+        :meth:`observe`; kernel-backed profilers override it with a
+        batch implementation and advertise it via
+        :attr:`supports_array_chunks`.
+        """
+        for pc, value in zip(pcs.tolist(), values.tolist()):
+            self.observe((pc, value))
 
     def run(self, events: Iterable[ProfileTuple]) -> List[IntervalProfile]:
         """Convenience driver: profile a finite stream.

@@ -19,6 +19,7 @@ standard operating points are exposed as :data:`SHORT_INTERVAL`
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Mapping
 
@@ -28,6 +29,15 @@ DEFAULT_COUNTER_BITS = 24
 
 #: Total number of hash-table counters in the paper's evaluation.
 DEFAULT_TOTAL_ENTRIES = 2048
+
+#: Valid :attr:`ProfilerConfig.backend` values.  ``auto`` defers to the
+#: ``REPRO_BACKEND`` environment variable and otherwise picks the
+#: vectorized kernels (:mod:`repro.core.kernels`).
+BACKENDS = ("auto", "scalar", "vectorized")
+
+#: Environment variable consulted by ``backend="auto"``; lets CI run
+#: the whole suite under either backend without touching configs.
+BACKEND_ENV = "REPRO_BACKEND"
 
 
 @dataclass(frozen=True)
@@ -137,8 +147,13 @@ class ProfilerConfig:
     shielding: bool = True
     accumulator_entries: int | None = None
     hash_seed: int = 0x5EED
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {', '.join(BACKENDS)}, "
+                f"got {self.backend!r}")
         if self.num_tables < 1:
             raise ValueError(f"num_tables must be >= 1, "
                              f"got {self.num_tables}")
@@ -172,6 +187,27 @@ class ProfilerConfig:
         if self.accumulator_entries is not None:
             return self.accumulator_entries
         return self.interval.max_candidates
+
+    @property
+    def resolved_backend(self) -> str:
+        """The concrete backend to build: ``scalar`` or ``vectorized``.
+
+        ``auto`` consults :data:`BACKEND_ENV` and defaults to the
+        vectorized kernels; both results are deterministic per process
+        so a session's profilers all resolve the same way.
+        """
+        if self.backend != "auto":
+            return self.backend
+        value = os.environ.get(BACKEND_ENV, "vectorized")
+        if value not in ("scalar", "vectorized"):
+            raise ValueError(
+                f"{BACKEND_ENV} must be 'scalar' or 'vectorized', "
+                f"got {value!r}")
+        return value
+
+    def with_backend(self, backend: str) -> "ProfilerConfig":
+        """Copy of this config pinned to a backend."""
+        return replace(self, backend=backend)
 
     @property
     def label(self) -> str:

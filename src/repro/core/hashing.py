@@ -86,7 +86,8 @@ class TupleHashFunction:
     """
 
     __slots__ = ("index_bits", "table_size", "_pc_tables", "_value_tables",
-                 "_np_pc_tables", "_np_value_tables")
+                 "_np_pc_tables", "_np_value_tables", "_fold_pc",
+                 "_fold_value", "_fold_base")
 
     def __init__(self, index_bits: int, seed: int) -> None:
         if not 1 <= index_bits <= 30:
@@ -100,6 +101,9 @@ class TupleHashFunction:
         self._value_tables = _draw_tables(rng)
         self._np_pc_tables = np.array(self._pc_tables, dtype=np.uint64)
         self._np_value_tables = np.array(self._value_tables, dtype=np.uint64)
+        self._fold_pc = None
+        self._fold_value = None
+        self._fold_base = 0
 
     def randomize_pc(self, pc: int) -> int:
         """Apply the per-byte substitution to a PC field."""
@@ -122,18 +126,63 @@ class TupleHashFunction:
         Used by trace preprocessing to hash a whole interval at once.
         Inputs must be ``uint64`` arrays of equal shape; the result is an
         ``int64`` array of table indices.
+
+        The whole ``xor_fold(flip(rand(pc)) ^ rand(value))`` pipeline is
+        XOR-linear in the per-byte substitutions, so it precomputes into
+        one folded lookup table per 16-bit input chunk (zero-normalized:
+        entry 0 is 0, with the all-zero-bytes contribution hoisted into a
+        constant).  A chunk above the data's actual width then costs
+        nothing, which collapses the usual case -- PCs and values far
+        narrower than 64 bits -- to a couple of gathers and XORs.
         """
-        npc = _substitute_array(pcs, self._np_pc_tables, flip_bytes=True)
-        nv = _substitute_array(values, self._np_value_tables,
-                               flip_bytes=False)
-        mixed = npc ^ nv
-        folded = np.zeros_like(mixed)
-        mask = np.uint64(self.table_size - 1)
-        shift = np.uint64(self.index_bits)
-        while mixed.any():
-            folded ^= mixed & mask
-            mixed = mixed >> shift
-        return folded.astype(np.int64)
+        if self._fold_pc is None:
+            self._build_fold_tables()
+        out = None
+        mask = np.uint64(0xFFFF)
+        for tables, field in ((self._fold_pc, pcs),
+                              (self._fold_value, values)):
+            top = int(field.max()) if field.size else 0
+            for chunk in range(_FIELD_BYTES // 2):
+                if chunk and not top >> (16 * chunk):
+                    break
+                piece = (field if chunk == 0 and top < 0x10000
+                         else (field >> np.uint64(16 * chunk)) & mask)
+                gathered = tables[chunk].take(piece.astype(np.intp))
+                if out is None:
+                    out = gathered
+                else:
+                    out ^= gathered
+        if self._fold_base:
+            out ^= np.int32(self._fold_base)
+        return out.astype(np.int64)
+
+    def _build_fold_tables(self) -> None:
+        """Precompute the zero-normalized folded 16-bit chunk tables."""
+        per_byte_pc = []
+        per_byte_value = []
+        for position in range(_FIELD_BYTES):
+            flipped = _FIELD_BYTES - 1 - position
+            per_byte_pc.append(np.array(
+                [xor_fold(entry << (8 * flipped), self.index_bits)
+                 for entry in self._pc_tables[position]], dtype=np.int32))
+            per_byte_value.append(np.array(
+                [xor_fold(entry << (8 * position), self.index_bits)
+                 for entry in self._value_tables[position]], dtype=np.int32))
+        base = 0
+        fold_pc = []
+        fold_value = []
+        for chunk in range(_FIELD_BYTES // 2):
+            for per_byte, fold in ((per_byte_pc, fold_pc),
+                                   (per_byte_value, fold_value)):
+                low = per_byte[2 * chunk]
+                high = per_byte[2 * chunk + 1]
+                table = low[np.newaxis, :] ^ high[:, np.newaxis]
+                zero = int(table[0, 0])
+                base ^= zero
+                fold.append((table ^ zero).reshape(-1))
+        self._fold_pc = fold_pc
+        self._fold_value = fold_value
+        self._fold_base = base
 
 
 def _draw_tables(rng: random.Random) -> List[List[int]]:

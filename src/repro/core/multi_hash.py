@@ -251,12 +251,25 @@ class MultiHashProfiler(HardwareProfiler):
 def build_profiler(config: ProfilerConfig) -> HardwareProfiler:
     """Construct the profiler matching *config*.
 
-    Single-table configurations build a :class:`SingleHashProfiler`
+    Single-table configurations build a single-hash profiler
     (conservative update is meaningless with one table and must be
-    off); multi-table configurations build a :class:`MultiHashProfiler`.
+    off); multi-table configurations build a multi-hash profiler.
+    ``config.resolved_backend`` selects between the scalar reference
+    classes and the bit-identical NumPy kernels of
+    :mod:`repro.core.kernels`; counters too wide for the int64 kernels
+    fall back to scalar.
     """
     from .single_hash import SingleHashProfiler
 
-    if config.num_tables == 1 and not config.conservative_update:
+    single = config.num_tables == 1 and not config.conservative_update
+    if config.resolved_backend == "vectorized":
+        from .kernels import (MAX_KERNEL_COUNTER_BITS,
+                              VectorizedMultiHashProfiler,
+                              VectorizedSingleHashProfiler)
+        if config.counter_bits <= MAX_KERNEL_COUNTER_BITS:
+            if single:
+                return VectorizedSingleHashProfiler(config)
+            return VectorizedMultiHashProfiler(config)
+    if single:
         return SingleHashProfiler(config)
     return MultiHashProfiler(config)

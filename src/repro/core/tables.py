@@ -147,20 +147,33 @@ class AccumulatorTable:
         ("if there are no more free entries ... the event is not put
         into the accumulator table", Section 5.2).
         """
+        inserted, _ = self.insert_tracked(event, initial_count)
+        return inserted
+
+    def insert_tracked(self, event: ProfileTuple, initial_count: int
+                       ) -> Tuple[bool, Optional[ProfileTuple]]:
+        """:meth:`insert` that also reports the evicted tuple, if any.
+
+        The vectorized kernels mirror residency in chunk-local flag
+        arrays and need to know which tuple an insert displaced;
+        :meth:`insert` is implemented on top of this.
+        """
         if event in self._entries:
             raise ValueError(f"tuple {event!r} is already resident")
+        evicted: Optional[ProfileTuple] = None
         if len(self._entries) >= self.capacity:
             victim = self._pick_victim()
             if victim is None:
                 self.rejected_inserts += 1
-                return False
+                return False, None
             del self._entries[victim.event]
             self.evictions += 1
+            evicted = victim.event
         self._entries[event] = AccumulatorEntry(
             event=event, count=initial_count, replaceable=False,
             stamp=self._next_stamp)
         self._next_stamp += 1
-        return True
+        return True, evicted
 
     def _pick_victim(self) -> Optional[AccumulatorEntry]:
         """Lowest-count, then oldest, replaceable entry; ``None`` if all

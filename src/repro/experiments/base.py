@@ -15,6 +15,11 @@ knobs; ``ExperimentScale.from_env()`` honours:
   ``REPRO_SHORT_INTERVALS`` -- individual overrides;
 * ``REPRO_BENCHMARKS`` -- comma-separated benchmark subset.
 
+Backend: experiment configs leave ``backend="auto"``, so
+``REPRO_BACKEND`` (or ``repro-experiments --backend``) selects the
+scalar reference or the vectorized kernels for a whole run; results
+are bit-identical either way (``tests/test_kernel_parity.py``).
+
 Error is averaged per interval, so scaling changes statistical noise
 and hash-table pressure (both noted in EXPERIMENTS.md), not the
 mechanisms being exercised.

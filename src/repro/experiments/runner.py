@@ -19,7 +19,7 @@ import time
 from dataclasses import replace
 from typing import List, Optional
 
-from ..core.config import LONG_INTERVAL
+from ..core.config import BACKEND_ENV, LONG_INTERVAL
 from .base import EXPERIMENTS, ExperimentScale
 
 # Importing the experiment modules populates the registry.
@@ -49,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of 10K intervals per benchmark")
     parser.add_argument("--benchmarks", type=str, default=None,
                         help="comma-separated benchmark subset")
+    parser.add_argument("--backend", choices=("scalar", "vectorized"),
+                        default=None,
+                        help="profiler backend for every experiment "
+                             "(default: REPRO_BACKEND, else vectorized)")
     return parser
 
 
@@ -73,6 +77,12 @@ def scale_from_args(args: argparse.Namespace) -> ExperimentScale:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.backend is not None:
+        # Experiment configs leave backend="auto", which resolves
+        # through REPRO_BACKEND at profiler-build time.
+        import os
+
+        os.environ[BACKEND_ENV] = args.backend
     scale = scale_from_args(args)
     names = list(args.experiments)
     if names == ["all"]:

@@ -368,9 +368,16 @@ class SessionFeeder:
         return closed
 
     def _observe_piece(self, pcs: np.ndarray, values: np.ndarray) -> None:
-        events = list(zip(pcs.tolist(), values.tolist()))
+        events = None
         for profiler, functions in zip(self._session.profilers,
                                        self._functions):
+            if profiler.supports_array_chunks:
+                # Kernel-backed profilers consume the arrays natively;
+                # no per-event tuple list is ever materialized.
+                profiler.observe_array_chunk(pcs, values)
+                continue
+            if events is None:
+                events = list(zip(pcs.tolist(), values.tolist()))
             if functions is None:
                 profiler.observe_chunk(events, None)
             else:

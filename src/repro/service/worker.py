@@ -73,6 +73,7 @@ def snapshot_dict(state: _StreamState, max_intervals: int,
     return {
         "stream": state.stream,
         "profiler": state.config.label,
+        "backend": state.config.resolved_backend,
         "final": final,
         "flushed_partial": flushed,
         "events": state.feeder.events_fed,
@@ -119,6 +120,7 @@ class _Worker:
         self.streams_opened += 1
         return {"ok": True, "stream": stream, "shard": self.worker_id,
                 "profiler": config.label,
+                "backend": config.resolved_backend,
                 "interval_length": config.interval.length}
 
     def batch(self, message: Dict[str, Any]) -> Dict[str, Any]:

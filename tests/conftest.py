@@ -14,6 +14,19 @@ import pytest
 from repro.core.config import IntervalSpec, ProfilerConfig
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden regression fixtures under tests/golden/ "
+             "from the current implementation instead of comparing")
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should regenerate golden fixtures."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def tiny_spec() -> IntervalSpec:
     """1,000-event intervals at 1 % (threshold: 10 occurrences)."""

@@ -1,5 +1,6 @@
 """Tests for the repro-profile CLI (repro.cli)."""
 
+import json
 import re
 
 import pytest
@@ -184,3 +185,26 @@ class TestServiceCommands:
     def test_snapshot_requires_stream_or_stats(self, capsys):
         assert main(["snapshot", "--port", "7071"]) == 2
         assert "--stream" in capsys.readouterr().err
+
+
+class TestBench:
+    @pytest.mark.slow
+    def test_bench_quick_writes_report(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_kernels.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        report = json.loads(path.read_text())
+        assert report["quick"]
+        assert len(report["workloads"]) == 4
+        for workload in report["workloads"]:
+            rows = workload["rows"]
+            assert set(rows) == {"scalar", "scalar-chunked",
+                                 "vectorized"}
+            for row in rows.values():
+                assert row["events_per_second"] > 0
+        assert set(report["speedups"]) == set(report["chunked_speedups"])
+        # Even at smoke scale the kernels clear the per-event reference
+        # by a wide margin.
+        assert all(value > 2.0 for value in report["speedups"].values())

@@ -1,0 +1,264 @@
+"""Differential parity: the NumPy kernels equal the scalar reference.
+
+The vectorized backend (:mod:`repro.core.kernels`) exists purely for
+speed; its contract is **bit-identical** behaviour.  These properties
+drive randomized streams through the scalar per-event reference and
+the array kernels under hypothesis-generated configurations -- table
+sizes, thresholds, P1/R1/C1 on/off, shielding, 1-4 hash tables, tiny
+accumulators (forcing evictions and rejections) -- and assert equal
+per-interval candidate sets, counts, cumulative stats, and
+:class:`~repro.metrics.error.ErrorSummary` values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.kernels as kernels
+from repro.core.config import IntervalSpec, ProfilerConfig
+from repro.core.kernels import (VectorizedMultiHashProfiler,
+                                VectorizedSingleHashProfiler)
+from repro.core.multi_hash import MultiHashProfiler, build_profiler
+from repro.core.single_hash import SingleHashProfiler
+from repro.profiling.session import ProfilingSession
+from repro.workloads.benchmarks import benchmark_generator
+
+SPEC = IntervalSpec(length=200, threshold=0.05)  # threshold_count 10
+
+# Small tuple universe so aliasing, promotion and accumulator pressure
+# are all frequent against 16..64-entry tables.
+EVENTS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40),
+              st.integers(min_value=0, max_value=3)),
+    min_size=1, max_size=600)
+
+FLAGS = st.tuples(st.booleans(), st.booleans(), st.booleans())
+
+ACCUMULATORS = st.sampled_from([None, 1, 2, 4])
+
+
+def scalar_class(config):
+    single = config.num_tables == 1 and not config.conservative_update
+    return SingleHashProfiler if single else MultiHashProfiler
+
+
+def vectorized_class(config):
+    single = config.num_tables == 1 and not config.conservative_update
+    return (VectorizedSingleHashProfiler if single
+            else VectorizedMultiHashProfiler)
+
+
+def run_scalar(config, events):
+    """Per-event reference run, closing intervals at SPEC boundaries."""
+    profiler = scalar_class(config)(config)
+    profiles = []
+    for position, event in enumerate(events, start=1):
+        profiler.observe(event)
+        if position % SPEC.length == 0:
+            profiles.append(profiler.end_interval())
+    return profiler, profiles
+
+
+def run_vectorized(config, events, chunk_size):
+    """Array-kernel run over the same events, arbitrary chunk sizes.
+
+    Chunks are split at interval boundaries exactly as SessionFeeder
+    does (the kernels' documented precondition).
+    """
+    profiler = vectorized_class(config)(config)
+    pcs = np.array([event[0] for event in events], dtype=np.uint64)
+    values = np.array([event[1] for event in events], dtype=np.uint64)
+    profiles = []
+    position = 0
+    while position < len(events):
+        take = min(chunk_size, SPEC.length - (position % SPEC.length),
+                   len(events) - position)
+        profiler.observe_array_chunk(pcs[position:position + take],
+                                     values[position:position + take])
+        position += take
+        if position % SPEC.length == 0:
+            profiles.append(profiler.end_interval())
+    return profiler, profiles
+
+
+def assert_identical(config, events, chunk_size):
+    scalar, scalar_profiles = run_scalar(config, events)
+    vector, vector_profiles = run_vectorized(config, events, chunk_size)
+    assert [p.candidates for p in scalar_profiles] == \
+           [p.candidates for p in vector_profiles]
+    assert scalar.stats.as_dict() == vector.stats.as_dict()
+    assert scalar.accumulator.rejected_inserts == \
+           vector.accumulator.rejected_inserts
+    assert scalar.accumulator.evictions == vector.accumulator.evictions
+    # Residual state matters too: the next interval starts from it.
+    assert {event: (entry.count, entry.replaceable)
+            for event, entry in scalar.accumulator.raw_entries().items()} \
+        == {event: (entry.count, entry.replaceable)
+            for event, entry in vector.accumulator.raw_entries().items()}
+
+
+@given(EVENTS, FLAGS, ACCUMULATORS, st.integers(min_value=1, max_value=77))
+@settings(max_examples=60, deadline=None)
+def test_single_hash_kernel_parity(events, flags, accumulator, chunk_size):
+    retaining, resetting, shielding = flags
+    config = ProfilerConfig(interval=SPEC, total_entries=16, num_tables=1,
+                            retaining=retaining, resetting=resetting,
+                            shielding=shielding,
+                            accumulator_entries=accumulator)
+    assert_identical(config, events, chunk_size)
+
+
+@given(EVENTS, FLAGS, st.booleans(), st.sampled_from([2, 4]),
+       ACCUMULATORS, st.integers(min_value=1, max_value=77))
+@settings(max_examples=60, deadline=None)
+def test_multi_hash_kernel_parity(events, flags, conservative, num_tables,
+                                  accumulator, chunk_size):
+    retaining, resetting, shielding = flags
+    config = ProfilerConfig(interval=SPEC, total_entries=16,
+                            num_tables=num_tables, retaining=retaining,
+                            resetting=resetting, shielding=shielding,
+                            conservative_update=conservative,
+                            accumulator_entries=accumulator)
+    assert_identical(config, events, chunk_size)
+
+
+@given(EVENTS, st.booleans(), st.integers(min_value=1, max_value=77))
+@settings(max_examples=25, deadline=None)
+def test_parity_under_tiny_windows(events, conservative, chunk_size):
+    """Force many windows, boundary restarts, and the degenerate-window
+    scalar fallback by shrinking the kernel constants."""
+    config = ProfilerConfig(interval=SPEC, total_entries=16, num_tables=2,
+                            conservative_update=conservative,
+                            accumulator_entries=2)
+    saved = (kernels.WINDOW_EVENTS, kernels.C1_WINDOW_EVENTS,
+             kernels.MAX_WINDOW_BOUNDARIES, kernels.MIN_SOLVER_SPAN)
+    kernels.WINDOW_EVENTS = kernels.C1_WINDOW_EVENTS = 16
+    kernels.MAX_WINDOW_BOUNDARIES = 2
+    kernels.MIN_SOLVER_SPAN = 1
+    try:
+        assert_identical(config, events, chunk_size)
+    finally:
+        (kernels.WINDOW_EVENTS, kernels.C1_WINDOW_EVENTS,
+         kernels.MAX_WINDOW_BOUNDARIES, kernels.MIN_SOLVER_SPAN) = saved
+
+
+@given(EVENTS, FLAGS, st.sampled_from([1, 2, 4]), ACCUMULATORS,
+       st.integers(min_value=1, max_value=77))
+@settings(max_examples=40, deadline=None)
+def test_parity_forced_straggler_walk(events, flags, num_tables,
+                                      accumulator, chunk_size):
+    """Starve the C1 fixpoint solver of passes so every span falls
+    through sandwich certification into the sequential straggler walk
+    -- the hardest code path must stay bit-identical too."""
+    retaining, resetting, shielding = flags
+    config = ProfilerConfig(interval=SPEC, total_entries=16,
+                            num_tables=num_tables, retaining=retaining,
+                            resetting=resetting, shielding=shielding,
+                            conservative_update=True,
+                            accumulator_entries=accumulator)
+    saved = (kernels.MIN_SOLVER_SPAN, kernels.MAX_SOLVER_PASSES,
+             kernels.CERTIFY_PASSES)
+    kernels.MIN_SOLVER_SPAN = 1
+    kernels.MAX_SOLVER_PASSES = 1
+    kernels.CERTIFY_PASSES = 1
+    try:
+        assert_identical(config, events, chunk_size)
+    finally:
+        (kernels.MIN_SOLVER_SPAN, kernels.MAX_SOLVER_PASSES,
+         kernels.CERTIFY_PASSES) = saved
+
+
+@given(EVENTS, st.integers(min_value=1, max_value=77),
+       st.integers(min_value=0, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_parity_with_interleaved_observe(events, chunk_size, prefix):
+    """Per-event observe() calls interleaved with array chunks stay
+    exact: the kernel rebuilds its chunk-local view every call."""
+    config = ProfilerConfig(interval=SPEC, total_entries=16, num_tables=4,
+                            conservative_update=True,
+                            accumulator_entries=4)
+    scalar = MultiHashProfiler(config)
+    vector = VectorizedMultiHashProfiler(config)
+    for event in events[:prefix]:
+        scalar.observe(event)
+        vector.observe(event)
+    rest = events[prefix:]
+    for event in rest:
+        scalar.observe(event)
+    position = 0
+    pcs = np.array([event[0] for event in rest], dtype=np.uint64)
+    values = np.array([event[1] for event in rest], dtype=np.uint64)
+    while position < len(rest):
+        take = min(chunk_size, len(rest) - position)
+        vector.observe_array_chunk(pcs[position:position + take],
+                                   values[position:position + take])
+        position += take
+    assert scalar.stats.as_dict() == vector.stats.as_dict()
+    assert scalar.end_interval().candidates == \
+           vector.end_interval().candidates
+
+
+@pytest.mark.parametrize("num_tables,conservative", [(1, False),
+                                                     (4, True)])
+def test_session_error_summaries_match(num_tables, conservative):
+    """End-to-end: one session, both backends, a realistic benchmark
+    stream -- identical candidates and bit-identical error summaries."""
+    spec = IntervalSpec(length=2_000, threshold=0.01)
+    base = ProfilerConfig(interval=spec, total_entries=256,
+                          num_tables=num_tables,
+                          conservative_update=conservative)
+    session = ProfilingSession([base.with_backend("scalar"),
+                                base.with_backend("vectorized")],
+                               keep_profiles=True)
+    result = session.run(benchmark_generator("gcc", seed=11),
+                         max_intervals=4)
+    scalar_result, vector_result = result.results.values()
+    assert [p.candidates for p in scalar_result.profiles] == \
+           [p.candidates for p in vector_result.profiles]
+    assert scalar_result.summary.series() == vector_result.summary.series()
+    assert scalar_result.summary.breakdown_percent() == \
+           vector_result.summary.breakdown_percent()
+    assert scalar_result.profiler.stats.as_dict() == \
+           vector_result.profiler.stats.as_dict()
+
+
+def test_build_profiler_backend_dispatch(monkeypatch):
+    config = ProfilerConfig(interval=SPEC, total_entries=16)
+    assert isinstance(build_profiler(config.with_backend("scalar")),
+                      SingleHashProfiler)
+    vectorized = build_profiler(config.with_backend("vectorized"))
+    assert isinstance(vectorized, VectorizedSingleHashProfiler)
+    multi = ProfilerConfig(interval=SPEC, total_entries=16, num_tables=4,
+                           conservative_update=True)
+    assert isinstance(build_profiler(multi.with_backend("vectorized")),
+                      VectorizedMultiHashProfiler)
+    assert type(build_profiler(multi.with_backend("scalar"))) \
+        is MultiHashProfiler
+
+    # "auto" follows REPRO_BACKEND and defaults to vectorized.
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert isinstance(build_profiler(config), VectorizedSingleHashProfiler)
+    monkeypatch.setenv("REPRO_BACKEND", "scalar")
+    assert type(build_profiler(config)) is SingleHashProfiler
+    monkeypatch.setenv("REPRO_BACKEND", "bogus")
+    with pytest.raises(ValueError):
+        build_profiler(config)
+
+
+def test_wide_counters_fall_back_to_scalar():
+    config = ProfilerConfig(interval=SPEC, total_entries=16,
+                            counter_bits=63, backend="vectorized")
+    assert type(build_profiler(config)) is SingleHashProfiler
+    with pytest.raises(ValueError):
+        VectorizedSingleHashProfiler(config)
+
+
+def test_backend_round_trips_through_dict():
+    config = ProfilerConfig(interval=SPEC, total_entries=16,
+                            backend="vectorized")
+    assert ProfilerConfig.from_dict(config.to_dict()) == config
+    with pytest.raises(ValueError):
+        ProfilerConfig(interval=SPEC, total_entries=16, backend="fast")

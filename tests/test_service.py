@@ -405,3 +405,56 @@ class TestFeederEquivalence:
         assert len(result.profiles) == 2
         assert result.profiles[-1].index == 4
         assert result.summary.num_intervals == 5
+
+
+# ---------------------------------------------------------------------
+# Backend parity through the service
+# ---------------------------------------------------------------------
+
+class TestBackendParity:
+    """The same trace pushed to a scalar and a vectorized stream must
+    produce byte-identical snapshots: the kernel parity guarantee has
+    to survive the whole wire / worker / feeder pipeline."""
+
+    @staticmethod
+    def push_both(trace, config, batch_events):
+        with ProfileServer(num_workers=2) as server:
+            with ProfileClient(port=server.port) as client:
+                for backend in ("scalar", "vectorized"):
+                    client.open_stream(backend,
+                                       config.with_backend(backend))
+                    client.push_trace(backend, trace,
+                                      batch_events=batch_events)
+                return {backend: client.close_stream(backend)
+                        for backend in ("scalar", "vectorized")}
+
+    @staticmethod
+    def assert_snapshots_identical(snapshots):
+        scalar, vectorized = (snapshots["scalar"],
+                              snapshots["vectorized"])
+        assert scalar["backend"] == "scalar"
+        assert vectorized["backend"] == "vectorized"
+        neutral = {"stream", "backend"}
+        assert {k: v for k, v in scalar.items() if k not in neutral} \
+            == {k: v for k, v in vectorized.items() if k not in neutral}
+
+    def test_snapshots_identical_across_backends(self):
+        trace = make_trace("gcc", seed=41,
+                           events=2 * INTERVAL.length + 311)
+        snapshots = self.push_both(trace, CONFIG, batch_events=997)
+        self.assert_snapshots_identical(snapshots)
+        assert snapshots["scalar"]["flushed_partial"]
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("num_tables,conservative", [(1, False),
+                                                         (4, True)])
+    def test_stress_long_stream_parity(self, num_tables, conservative):
+        config = ProfilerConfig(interval=INTERVAL, total_entries=256,
+                                num_tables=num_tables,
+                                retaining=True,
+                                conservative_update=conservative)
+        trace = make_trace("gcc", seed=42,
+                           events=10 * INTERVAL.length)
+        snapshots = self.push_both(trace, config, batch_events=1234)
+        self.assert_snapshots_identical(snapshots)
+        assert snapshots["scalar"]["intervals_completed"] == 10
