@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full experiments examples clean
+.PHONY: install test bench bench-full bench-experiments experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,11 @@ bench-full:
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner all
+
+# Serial vs parallel vs warm-cache suite wall-clock; writes
+# benchmarks/results/BENCH_experiments.json.
+bench-experiments:
+	$(PYTHON) -m repro.experiments.runner bench
 
 examples:
 	@for script in examples/*.py; do \

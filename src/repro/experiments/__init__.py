@@ -6,6 +6,7 @@ importing this package) to run figures programmatically, or use the
 """
 
 from .base import EXPERIMENTS, ExperimentReport, ExperimentScale
+from .fabric import ExperimentFabric, activate, current_fabric, fabric_map
 
 # Register every experiment.
 from . import (ablations, adaptive_interval, area_budget, baselines,  # noqa: F401
@@ -15,4 +16,5 @@ from . import (ablations, adaptive_interval, area_budget, baselines,  # noqa: F4
                fig13_per_interval, fig14_edge, stratified_baseline,
                table_size_ablation)
 
-__all__ = ["EXPERIMENTS", "ExperimentReport", "ExperimentScale"]
+__all__ = ["EXPERIMENTS", "ExperimentFabric", "ExperimentReport",
+           "ExperimentScale", "activate", "current_fabric", "fabric_map"]

@@ -49,7 +49,8 @@ def run(scale: ExperimentScale = None,
         best, accumulator_entries=max(1, spec.max_candidates // 2))))
     configs.append(("no-retain", replace(best, retaining=False)))
 
-    results = sweep(benchmarks, configs, scale.long_intervals, kind=kind)
+    results = sweep(benchmarks, configs, scale.long_intervals, kind=kind,
+                    backend=scale.backend)
     report = ExperimentReport(
         experiment="ablations",
         title=(f"mechanism ablations of MH4 C1-R0, intervals of "

@@ -17,6 +17,15 @@ from ..metrics.reports import format_table
 from ..profiling.adaptive import select_interval_length
 from ..workloads.benchmarks import benchmark_generator
 from .base import ExperimentReport, ExperimentScale, experiment
+from .fabric import fabric_map
+
+
+def _selection_cell(payload):
+    """Run the adaptive selector for one benchmark (a fabric cell)."""
+    name, kind, lengths, intervals_per_length = payload
+    generator = benchmark_generator(name, kind)
+    return select_interval_length(
+        generator, lengths, intervals_per_length=intervals_per_length)
 
 
 @experiment("adaptive")
@@ -25,13 +34,14 @@ def run(scale: ExperimentScale = None,
     """Select an interval length per benchmark and tabulate stability."""
     scale = scale or ExperimentScale.from_env()
     lengths = sorted({10_000, 50_000, scale.long_interval_length})
+    intervals_per_length = max(4, scale.long_intervals)
+    choices = fabric_map(
+        _selection_cell,
+        [(name, kind, lengths, intervals_per_length)
+         for name in scale.benchmarks])
     rows: List[List[object]] = []
     data = {}
-    for name in scale.benchmarks:
-        generator = benchmark_generator(name, kind)
-        choice = select_interval_length(
-            generator, lengths,
-            intervals_per_length=max(4, scale.long_intervals))
+    for name, choice in zip(scale.benchmarks, choices):
         data[name] = choice
         rows.append([name, f"{choice.selected:,}"]
                     + [round(choice.mean_variation[length], 1)

@@ -31,7 +31,8 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Tuple
 
-from ..core.config import (LONG_INTERVAL, SHORT_INTERVAL, IntervalSpec)
+from ..core.config import (BACKENDS, LONG_INTERVAL, SHORT_INTERVAL,
+                           IntervalSpec)
 from ..workloads.benchmarks import BENCHMARK_NAMES
 
 
@@ -42,12 +43,18 @@ class ExperimentScale:
     The short operating point is always the paper's exact 10 K @ 1 %
     (it is cheap); the long point keeps the paper's 0.1 % threshold but
     scales the interval length.
+
+    ``backend`` pins every profiler an experiment builds (``auto``
+    defers to ``REPRO_BACKEND`` as usual).  It is threaded explicitly
+    -- rather than smuggled through the environment -- so parallel
+    fabric workers inherit the choice through cell payloads.
     """
 
     long_interval_length: int = 200_000
     long_intervals: int = 6
     short_intervals: int = 30
     benchmarks: Tuple[str, ...] = BENCHMARK_NAMES
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.long_interval_length < 10_000:
@@ -59,6 +66,10 @@ class ExperimentScale:
         if unknown:
             raise ValueError(f"unknown benchmarks {unknown}; known: "
                              f"{', '.join(BENCHMARK_NAMES)}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {', '.join(BACKENDS)}, "
+                f"got {self.backend!r}")
 
     @property
     def short_spec(self) -> IntervalSpec:
@@ -101,6 +112,12 @@ class ExperimentScale:
         return replace(self, long_interval_length=20_000,
                        long_intervals=2, short_intervals=4,
                        benchmarks=("li", "gcc"))
+
+    def pin(self, config):
+        """*config* with this scale's backend applied (``auto``: as-is)."""
+        if self.backend == "auto":
+            return config
+        return config.with_backend(self.backend)
 
 
 @dataclass

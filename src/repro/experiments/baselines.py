@@ -28,6 +28,53 @@ from ..metrics.reports import format_table
 from ..profiling.session import ProfilingSession
 from ..workloads.benchmarks import benchmark_generator
 from .base import ExperimentReport, ExperimentScale, experiment
+from .fabric import fabric_map
+
+
+def _short_cell(payload):
+    """Score every baseline family on one benchmark (a fabric cell)."""
+    name, scale = payload
+    spec = scale.short_spec
+    profilers = [
+        ("MH4", scale.pin(best_multi_hash(spec))),
+        ("BSH", scale.pin(best_single_hash(spec))),
+        ("Tagged", TaggedTableProfiler(
+            area_equivalent_config(spec))),
+        ("Stratified", StratifiedSampler(StratifiedConfig(
+            interval=spec, sampling_threshold=32))),
+    ]
+    session = ProfilingSession([item for _, item in profilers])
+    outcome = session.run(benchmark_generator(name),
+                          max_intervals=scale.short_intervals)
+    errors = {label: result.summary.percent()
+              for (label, _), result in zip(profilers,
+                                            outcome.results.values())}
+
+    hotspot = HotSpotDetector(HotSpotConfig(interval=spec))
+    edge_outcome = ProfilingSession([hotspot]).run(
+        benchmark_generator(name, EventKind.EDGE),
+        max_intervals=max(4, scale.short_intervals // 2))
+    errors["HotSpot(edge)"] = edge_outcome.summary.percent()
+    errors["hot_fraction"] = 100.0 * hotspot.hot_fraction()
+    return errors
+
+
+def _long_cell(payload):
+    """Long-point comparison of the hardware-table designs."""
+    name, scale = payload
+    long_spec = scale.long_spec
+    profilers = [
+        ("MH4", scale.pin(best_multi_hash(long_spec))),
+        ("BSH", scale.pin(best_single_hash(long_spec))),
+        ("Tagged", TaggedTableProfiler(area_equivalent_config(
+            long_spec, budget_bytes=16_384))),
+    ]
+    session = ProfilingSession([item for _, item in profilers])
+    outcome = session.run(benchmark_generator(name),
+                          max_intervals=scale.long_intervals)
+    return {label: result.summary.percent()
+            for (label, _), result in zip(profilers,
+                                          outcome.results.values())}
 
 
 @experiment("baselines")
@@ -38,28 +85,9 @@ def run(scale: ExperimentScale = None) -> ExperimentReport:
     spec = scale.short_spec
     rows: List[List[object]] = []
     data = {}
-    for name in scale.benchmarks:
-        profilers = [
-            ("MH4", best_multi_hash(spec)),
-            ("BSH", best_single_hash(spec)),
-            ("Tagged", TaggedTableProfiler(
-                area_equivalent_config(spec))),
-            ("Stratified", StratifiedSampler(StratifiedConfig(
-                interval=spec, sampling_threshold=32))),
-        ]
-        session = ProfilingSession([item for _, item in profilers])
-        outcome = session.run(benchmark_generator(name),
-                              max_intervals=scale.short_intervals)
-        errors = {label: result.summary.percent()
-                  for (label, _), result in zip(profilers,
-                                                outcome.results.values())}
-
-        hotspot = HotSpotDetector(HotSpotConfig(interval=spec))
-        edge_outcome = ProfilingSession([hotspot]).run(
-            benchmark_generator(name, EventKind.EDGE),
-            max_intervals=max(4, scale.short_intervals // 2))
-        errors["HotSpot(edge)"] = edge_outcome.summary.percent()
-        errors["hot_fraction"] = 100.0 * hotspot.hot_fraction()
+    short_cells = fabric_map(
+        _short_cell, [(name, scale) for name in scale.benchmarks])
+    for name, errors in zip(scale.benchmarks, short_cells):
         data[name] = errors
         rows.append([name, errors["MH4"], errors["BSH"],
                      errors["Tagged"], errors["Stratified"],
@@ -83,19 +111,9 @@ def run(scale: ExperimentScale = None) -> ExperimentReport:
     # the hardware-table designs there too.
     long_spec = scale.long_spec
     long_rows: List[List[object]] = []
-    for name in scale.benchmarks:
-        profilers = [
-            ("MH4", best_multi_hash(long_spec)),
-            ("BSH", best_single_hash(long_spec)),
-            ("Tagged", TaggedTableProfiler(area_equivalent_config(
-                long_spec, budget_bytes=16_384))),
-        ]
-        session = ProfilingSession([item for _, item in profilers])
-        outcome = session.run(benchmark_generator(name),
-                              max_intervals=scale.long_intervals)
-        errors = {label: result.summary.percent()
-                  for (label, _), result in zip(profilers,
-                                                outcome.results.values())}
+    long_cells = fabric_map(
+        _long_cell, [(name, scale) for name in scale.benchmarks])
+    for name, errors in zip(scale.benchmarks, long_cells):
         data[f"{name}/long"] = errors
         long_rows.append([name, errors["MH4"], errors["BSH"],
                           errors["Tagged"]])

@@ -16,6 +16,7 @@ from ..metrics.reports import format_table
 from ..workloads.analysis import interval_statistics
 from ..workloads.benchmarks import benchmark_generator
 from .base import ExperimentReport, ExperimentScale, experiment
+from .fabric import fabric_map
 
 #: The paper's three interval lengths, scaled so the longest matches
 #: the experiment scale's long interval.
@@ -24,25 +25,33 @@ def interval_lengths(scale: ExperimentScale) -> List[int]:
     return [10_000, min(100_000, max(10_000, longest // 10)), longest]
 
 
+def _distinct_cell(payload) -> Dict[int, float]:
+    """One benchmark's Figure 4 row (an independent fabric cell)."""
+    name, kind, lengths, scale = payload
+    row: Dict[int, float] = {}
+    for length in lengths:
+        # Keep total events comparable across lengths.
+        budget = max(2, (scale.long_intervals
+                         * scale.long_interval_length) // length)
+        generator = benchmark_generator(name, kind)
+        statistics = interval_statistics(generator, length,
+                                         min(budget, 60),
+                                         thresholds=())
+        row[length] = statistics.mean_distinct()
+    return row
+
+
 @experiment("fig04")
 def run(scale: ExperimentScale = None,
         kind: EventKind = EventKind.VALUE) -> ExperimentReport:
     """Measure mean distinct tuples per interval for each length."""
     scale = scale or ExperimentScale.from_env()
     lengths = interval_lengths(scale)
-    per_benchmark: Dict[str, Dict[int, float]] = {}
-    for name in scale.benchmarks:
-        row: Dict[int, float] = {}
-        for length in lengths:
-            # Keep total events comparable across lengths.
-            budget = max(2, (scale.long_intervals
-                             * scale.long_interval_length) // length)
-            generator = benchmark_generator(name, kind)
-            statistics = interval_statistics(generator, length,
-                                             min(budget, 60),
-                                             thresholds=())
-            row[length] = statistics.mean_distinct()
-        per_benchmark[name] = row
+    rows_by_benchmark = fabric_map(
+        _distinct_cell,
+        [(name, kind, lengths, scale) for name in scale.benchmarks])
+    per_benchmark: Dict[str, Dict[int, float]] = dict(
+        zip(scale.benchmarks, rows_by_benchmark))
 
     headers = ["benchmark"] + [f"{length:,}" for length in lengths]
     rows = [[name] + [round(per_benchmark[name][length])

@@ -17,9 +17,27 @@ from ..metrics.reports import format_table
 from ..workloads.analysis import interval_statistics
 from ..workloads.benchmarks import benchmark_generator
 from .base import ExperimentReport, ExperimentScale, experiment
+from .fabric import fabric_map
 from .fig04_distinct_tuples import interval_lengths
 
 THRESHOLDS = (0.01, 0.001)
+
+
+def _candidate_cell(payload) -> Dict[float, Dict[int, float]]:
+    """One benchmark's Figure 5 candidate counts (a fabric cell)."""
+    name, kind, lengths, scale = payload
+    row: Dict[float, Dict[int, float]] = {
+        threshold: {} for threshold in THRESHOLDS}
+    for length in lengths:
+        budget = max(2, (scale.long_intervals
+                         * scale.long_interval_length) // length)
+        generator = benchmark_generator(name, kind)
+        statistics = interval_statistics(generator, length,
+                                         min(budget, 60),
+                                         thresholds=THRESHOLDS)
+        for threshold in THRESHOLDS:
+            row[threshold][length] = statistics.mean_candidates(threshold)
+    return row
 
 
 @experiment("fig05")
@@ -28,19 +46,14 @@ def run(scale: ExperimentScale = None,
     """Measure mean candidates per interval at 1 % and 0.1 %."""
     scale = scale or ExperimentScale.from_env()
     lengths = interval_lengths(scale)
+    rows_by_benchmark = fabric_map(
+        _candidate_cell,
+        [(name, kind, lengths, scale) for name in scale.benchmarks])
     candidates: Dict[float, Dict[str, Dict[int, float]]] = {
         threshold: {} for threshold in THRESHOLDS}
-    for name in scale.benchmarks:
-        for length in lengths:
-            budget = max(2, (scale.long_intervals
-                             * scale.long_interval_length) // length)
-            generator = benchmark_generator(name, kind)
-            statistics = interval_statistics(generator, length,
-                                             min(budget, 60),
-                                             thresholds=THRESHOLDS)
-            for threshold in THRESHOLDS:
-                candidates[threshold].setdefault(name, {})[length] = \
-                    statistics.mean_candidates(threshold)
+    for name, row in zip(scale.benchmarks, rows_by_benchmark):
+        for threshold in THRESHOLDS:
+            candidates[threshold][name] = row[threshold]
 
     report = ExperimentReport(
         experiment="fig05",

@@ -19,9 +19,20 @@ from ..workloads.analysis import (candidate_variation, interval_statistics,
                                   variation_profile)
 from ..workloads.benchmarks import benchmark_generator
 from .base import ExperimentReport, ExperimentScale, experiment
+from .fabric import fabric_map
 
 #: CDF points reported (fraction of interval transitions).
 CDF_FRACTIONS = (0.25, 0.50, 0.75, 0.90)
+
+
+def _variation_cell(payload) -> List[float]:
+    """One (panel x benchmark) variation series (a fabric cell)."""
+    name, kind, length, threshold, num_intervals = payload
+    generator = benchmark_generator(name, kind)
+    statistics = interval_statistics(
+        generator, length, max(3, num_intervals),
+        thresholds=(threshold,))
+    return candidate_variation(statistics.candidate_sets[threshold])
 
 
 @experiment("fig06")
@@ -40,15 +51,14 @@ def run(scale: ExperimentScale = None,
         title="candidate variation between consecutive intervals",
         data={"variations": {}},
     )
+    payloads = [(name, kind, spec.length, spec.threshold, num_intervals)
+                for _, spec, num_intervals in configurations
+                for name in scale.benchmarks]
+    series = iter(fabric_map(_variation_cell, payloads))
     for label, spec, num_intervals in configurations:
         rows: List[List[object]] = []
         for name in scale.benchmarks:
-            generator = benchmark_generator(name, kind)
-            statistics = interval_statistics(
-                generator, spec.length, max(3, num_intervals),
-                thresholds=(spec.threshold,))
-            variations = candidate_variation(
-                statistics.candidate_sets[spec.threshold])
+            variations = next(series)
             profile = variation_profile(variations, CDF_FRACTIONS)
             report.data["variations"].setdefault(label, {})[name] = \
                 variations

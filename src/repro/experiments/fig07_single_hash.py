@@ -52,7 +52,7 @@ def run(scale: ExperimentScale = None,
     for label, spec, num_intervals in panels:
         configs = single_hash_configs(spec)
         results = sweep(scale.benchmarks, configs, num_intervals,
-                        kind=kind)
+                        kind=kind, backend=scale.backend)
         report.data[label] = results
         report.add_table(f"error breakdown, intervals of {label}",
                          breakdown_table(results,

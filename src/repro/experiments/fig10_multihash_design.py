@@ -50,7 +50,8 @@ def _run_panel(scale: ExperimentScale, spec: IntervalSpec,
     benchmarks = [name for name in DESIGN_BENCHMARKS
                   if name in scale.benchmarks] or list(scale.benchmarks)
     configs = design_space_configs(spec)
-    results = sweep(benchmarks, configs, num_intervals, kind=kind)
+    results = sweep(benchmarks, configs, num_intervals, kind=kind,
+                    backend=scale.backend)
     report = ExperimentReport(
         experiment=experiment_name,
         title=(f"multi-hash design space (C x R x tables), intervals "

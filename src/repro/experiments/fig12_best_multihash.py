@@ -56,7 +56,7 @@ def run(scale: ExperimentScale = None,
         configs = best_family_configs(spec, table_counts)
         labels = [name for name, _ in configs]
         results = sweep(scale.benchmarks, configs, num_intervals,
-                        kind=kind)
+                        kind=kind, backend=scale.backend)
         report.data[label] = results
         report.data[f"{label}/averages"] = {
             name: average_error(results, name) for name in labels}

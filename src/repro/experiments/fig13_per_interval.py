@@ -20,6 +20,21 @@ from ..metrics.reports import format_table, series_table
 from ..profiling.session import ProfilingSession
 from ..workloads.benchmarks import benchmark_generator
 from .base import ExperimentReport, ExperimentScale, experiment
+from .fabric import fabric_map
+
+
+def _series_cell(payload):
+    """BSH and MH4 per-interval error series for one benchmark."""
+    name, kind, cycles, scale = payload
+    spec = scale.long_spec
+    session = ProfilingSession([
+        scale.pin(best_single_hash(spec)),
+        scale.pin(best_multi_hash(spec, num_tables=4)),
+    ])
+    outcome = session.run(benchmark_generator(name, kind),
+                          max_intervals=cycles)
+    results = list(outcome.results.values())
+    return results[0].summary.series(), results[1].summary.series()
 
 
 @experiment("fig13")
@@ -31,16 +46,12 @@ def run(scale: ExperimentScale = None,
     spec = scale.long_spec
     cycles = num_intervals or max(scale.long_intervals, 12)
     series: Dict[str, Dict[str, List[float]]] = {"BSH": {}, "MH4": {}}
-    for name in scale.benchmarks:
-        session = ProfilingSession([
-            best_single_hash(spec),
-            best_multi_hash(spec, num_tables=4),
-        ])
-        outcome = session.run(benchmark_generator(name, kind),
-                              max_intervals=cycles)
-        results = list(outcome.results.values())
-        series["BSH"][name] = results[0].summary.series()
-        series["MH4"][name] = results[1].summary.series()
+    cells = fabric_map(
+        _series_cell,
+        [(name, kind, cycles, scale) for name in scale.benchmarks])
+    for name, (bsh, mh4) in zip(scale.benchmarks, cells):
+        series["BSH"][name] = bsh
+        series["MH4"][name] = mh4
 
     report = ExperimentReport(
         experiment="fig13",

@@ -23,6 +23,7 @@ from ..metrics.reports import format_table
 from ..profiling.session import ProfilingSession
 from ..workloads.benchmarks import benchmark_generator
 from .base import ExperimentReport, ExperimentScale, experiment
+from .fabric import fabric_map
 
 
 #: Overhead-model constants: a profiled load event represents ~4 cycles
@@ -34,40 +35,49 @@ CYCLES_PER_EVENT = 4.0
 CYCLES_PER_INTERRUPT = 1_200
 
 
+def _comparison_cell(payload):
+    """Run MH4 vs the stratified sampler on one benchmark."""
+    name, kind, sampling_threshold, scale = payload
+    spec = scale.short_spec
+    stratified = StratifiedSampler(StratifiedConfig(
+        interval=spec, sampling_threshold=sampling_threshold))
+    session = ProfilingSession([
+        scale.pin(best_multi_hash(spec)),
+        stratified,
+    ])
+    outcome = session.run(benchmark_generator(name, kind),
+                          max_intervals=scale.short_intervals)
+    results = list(outcome.results.values())
+    overhead = stratified.software_overhead(
+        cycles_per_interrupt=CYCLES_PER_INTERRUPT,
+        cycles_per_event=CYCLES_PER_EVENT)
+    return {
+        "multi_hash_error": results[0].summary.percent(),
+        "stratified_error": results[1].summary.percent(),
+        "messages": stratified.messages,
+        "interrupts": stratified.interrupts,
+        "software_overhead": overhead,
+    }
+
+
 @experiment("stratified")
 def run(scale: ExperimentScale = None,
         kind: EventKind = EventKind.VALUE,
         sampling_threshold: int = 32) -> ExperimentReport:
     """Compare error and software cost against the stratified sampler."""
     scale = scale or ExperimentScale.from_env()
-    spec = scale.short_spec
     rows: List[List[object]] = []
     data: Dict[str, Dict[str, float]] = {}
-    for name in scale.benchmarks:
-        stratified = StratifiedSampler(StratifiedConfig(
-            interval=spec, sampling_threshold=sampling_threshold))
-        session = ProfilingSession([
-            best_multi_hash(spec),
-            stratified,
-        ])
-        outcome = session.run(benchmark_generator(name, kind),
-                              max_intervals=scale.short_intervals)
-        results = list(outcome.results.values())
-        multi_error = results[0].summary.percent()
-        stratified_error = results[1].summary.percent()
-        overhead = stratified.software_overhead(
-            cycles_per_interrupt=CYCLES_PER_INTERRUPT,
-            cycles_per_event=CYCLES_PER_EVENT)
-        data[name] = {
-            "multi_hash_error": multi_error,
-            "stratified_error": stratified_error,
-            "messages": stratified.messages,
-            "interrupts": stratified.interrupts,
-            "software_overhead": overhead,
-        }
-        rows.append([name, multi_error, stratified_error,
-                     stratified.messages, stratified.interrupts,
-                     round(100.0 * overhead, 2)])
+    cells = fabric_map(
+        _comparison_cell,
+        [(name, kind, sampling_threshold, scale)
+         for name in scale.benchmarks])
+    for name, errors in zip(scale.benchmarks, cells):
+        data[name] = errors
+        rows.append([name, errors["multi_hash_error"],
+                     errors["stratified_error"], errors["messages"],
+                     errors["interrupts"],
+                     round(100.0 * errors["software_overhead"], 2)])
 
     report = ExperimentReport(
         experiment="stratified",

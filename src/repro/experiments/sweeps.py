@@ -5,6 +5,12 @@ feed one stream through a set of profiler configurations and tabulate
 each configuration's error breakdown.  :func:`sweep` runs that skeleton
 (one stream pass per benchmark, all configurations in lockstep) and
 returns the summaries for the figure modules to format.
+
+Each ``(benchmark, configuration set)`` pair is an independent cell:
+when an :mod:`~repro.experiments.fabric` fabric is active, cells are
+scheduled across its worker pool and memoized in its result cache,
+with bit-identical results; otherwise they run serially in-process,
+exactly as before.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from ..metrics.error import ErrorSummary
 from ..metrics.reports import breakdown_headers, breakdown_row, format_table
 from ..profiling.session import ProfilingSession
 from ..workloads.benchmarks import benchmark_generator
+from .fabric import current_fabric
 
 #: ``{benchmark: {config label: summary}}``
 SweepResult = Dict[str, Dict[str, ErrorSummary]]
@@ -26,15 +33,24 @@ def sweep(benchmarks: Sequence[str],
           configs: Sequence[Tuple[str, ProfilerConfig]],
           num_intervals: int,
           kind: EventKind = EventKind.VALUE,
-          keep_profiles: bool = False) -> SweepResult:
+          keep_profiles: bool = False,
+          backend: str = "auto") -> SweepResult:
     """Run every benchmark through every configuration.
 
     *configs* pairs a display label with a configuration; labels must
     be unique.  Returns per-benchmark, per-label error summaries.
+    *backend* pins every configuration to a concrete profiler backend
+    (``auto`` keeps each config's own setting).
     """
     labels = [label for label, _ in configs]
     if len(set(labels)) != len(labels):
         raise ValueError(f"duplicate config labels in {labels}")
+    if backend != "auto":
+        configs = [(label, config.with_backend(backend))
+                   for label, config in configs]
+    fabric = current_fabric()
+    if fabric is not None and not keep_profiles:
+        return fabric.run_sweep(benchmarks, configs, num_intervals, kind)
     results: SweepResult = {}
     for benchmark in benchmarks:
         session = ProfilingSession([config for _, config in configs],

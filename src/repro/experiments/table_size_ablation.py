@@ -36,7 +36,7 @@ def run(scale: ExperimentScale = None,
                         replace(base, total_entries=entries)))
     labels = [label for label, _ in configs]
     results = sweep(scale.benchmarks, configs, scale.long_intervals,
-                    kind=kind)
+                    kind=kind, backend=scale.backend)
     report = ExperimentReport(
         experiment="tablesize",
         title=("hash-table size ablation, MH4 C1-R0, intervals of "

@@ -17,7 +17,7 @@ categories -- exactly the stacked bars of Figures 7-14.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
 
 from ..core.base import IntervalProfile
 from ..core.tuples import ProfileTuple
@@ -42,6 +42,36 @@ class IntervalError:
 
     def error_of(self, category: Category) -> float:
         return self.category_error.get(category, 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form; lossless (floats survive the JSON round trip
+        exactly, so cached results render bit-identically)."""
+        return {
+            "index": self.index,
+            "total": self.total,
+            "category_error": {category.value: share
+                               for category, share
+                               in self.category_error.items()},
+            "category_count": {category.value: count
+                               for category, count
+                               in self.category_count.items()},
+            "perfect_mass": self.perfect_mass,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IntervalError":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=int(data["index"]),
+            total=float(data["total"]),
+            category_error={Category(name): float(share)
+                            for name, share
+                            in data["category_error"].items()},
+            category_count={Category(name): int(count)
+                            for name, count
+                            in data["category_count"].items()},
+            perfect_mass=int(data["perfect_mass"]),
+        )
 
 
 def interval_error(true_counts: Dict[ProfileTuple, int],
@@ -137,6 +167,18 @@ class ErrorSummary:
         """Category breakdown in percent, keyed by category value."""
         return {category.value: 100.0 * share
                 for category, share in self.breakdown().items()}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (the experiment result cache's storage
+        format)."""
+        return {"intervals": [interval.to_dict()
+                              for interval in self.intervals]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ErrorSummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(intervals=[IntervalError.from_dict(interval)
+                              for interval in data["intervals"]])
 
 
 def summarize(errors: Iterable[IntervalError]) -> ErrorSummary:

@@ -6,6 +6,7 @@ from .benchmarks import (BENCHMARK_NAMES, EDGE_TARGETS, VALUE_TARGETS,
 from .generators import HotBand, StreamModel, TupleStreamGenerator
 from .solver import (BenchmarkTargets, build_model, expected_candidates,
                      expected_distinct)
+from .trace_store import TraceStore, default_cache_dir
 from .traces import Trace, load_trace, record, save_trace
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "HotBand",
     "StreamModel",
     "Trace",
+    "TraceStore",
     "TupleStreamGenerator",
     "VALUE_TARGETS",
     "all_models",
@@ -23,6 +25,7 @@ __all__ = [
     "benchmark_stream",
     "benchmark_targets",
     "build_model",
+    "default_cache_dir",
     "expected_candidates",
     "expected_distinct",
     "load_trace",

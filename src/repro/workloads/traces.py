@@ -13,13 +13,21 @@ plus a metadata array carrying the event kind and source name.
 
 from __future__ import annotations
 
+import itertools
 import os
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from ..core.tuples import EventKind, ProfileTuple
+
+#: Events per ``np.fromiter`` batch when materializing a stream.
+RECORD_CHUNK = 1 << 16
+
+#: Structured pair dtype used to pull ``(pc, value)`` tuples straight
+#: into parallel uint64 columns without intermediate Python lists.
+_EVENT_DTYPE = np.dtype([("p", np.uint64), ("v", np.uint64)])
 
 
 @dataclass
@@ -62,14 +70,29 @@ class Trace:
 def record(events: Iterable[ProfileTuple],
            kind: EventKind = EventKind.VALUE,
            source: str = "") -> Trace:
-    """Materialize an event stream into a trace."""
-    pcs: List[int] = []
-    values: List[int] = []
-    for pc, value in events:
-        pcs.append(pc)
-        values.append(value)
-    return Trace(pcs=np.array(pcs, dtype=np.uint64),
-                 values=np.array(values, dtype=np.uint64),
+    """Materialize an event stream into a trace.
+
+    Events are consumed in :data:`RECORD_CHUNK`-sized ``np.fromiter``
+    batches -- this is the hot path of trace materialization, and
+    per-event list appends made it the dominant cost for long streams.
+    """
+    iterator = iter(events)
+    chunks = []
+    while True:
+        chunk = np.fromiter(itertools.islice(iterator, RECORD_CHUNK),
+                            dtype=_EVENT_DTYPE)
+        if chunk.size:
+            chunks.append(chunk)
+        if chunk.size < RECORD_CHUNK:
+            break
+    if not chunks:
+        empty = np.empty(0, dtype=np.uint64)
+        return Trace(pcs=empty, values=empty.copy(), kind=kind,
+                     source=source)
+    packed = (chunks[0] if len(chunks) == 1
+              else np.concatenate(chunks))
+    return Trace(pcs=np.ascontiguousarray(packed["p"]),
+                 values=np.ascontiguousarray(packed["v"]),
                  kind=kind, source=source)
 
 

@@ -1,0 +1,78 @@
+"""Trace store: materialize-once semantics and replay parity."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.config import best_single_hash
+from repro.core.tuples import EventKind
+from repro.experiments.base import ExperimentScale
+from repro.profiling.session import ProfilingSession
+from repro.workloads.benchmarks import benchmark_generator
+from repro.workloads.trace_store import TraceKey, TraceStore
+
+TINY = ExperimentScale().tiny()
+LENGTH = TINY.short_spec.length
+
+
+def _store(tmp_path) -> TraceStore:
+    return TraceStore(str(tmp_path / "traces"))
+
+
+def test_replay_is_bit_identical_to_live_generation(tmp_path):
+    """The fabric's parity guarantee: a stored trace replayed through a
+    profiling session produces exactly the live generator's summary."""
+    store = _store(tmp_path)
+    spec = TINY.short_spec
+    live = ProfilingSession([best_single_hash(spec)]).run(
+        benchmark_generator("gcc", EventKind.VALUE), max_intervals=4)
+    replay = ProfilingSession([best_single_hash(spec)]).run(
+        store.get("gcc", EventKind.VALUE, spec.length, 4),
+        max_intervals=4)
+    assert replay.summary.to_dict() == live.summary.to_dict()
+
+
+def test_materialize_once_then_reuse(tmp_path):
+    store = _store(tmp_path)
+    key = TraceKey("gcc", EventKind.VALUE, LENGTH,
+                   store.resolve_seed("gcc", EventKind.VALUE, None))
+    store.get("gcc", EventKind.VALUE, LENGTH, 3)
+    assert store.stored_intervals(key) == 3
+    pcs_path = store._paths(key)[0]
+    stamp = os.stat(pcs_path).st_mtime_ns
+    store.get("gcc", EventKind.VALUE, LENGTH, 3)
+    assert os.stat(pcs_path).st_mtime_ns == stamp  # no rewrite
+
+
+def test_grow_preserves_prefix_and_slices_back(tmp_path):
+    """A longer materialization is prefix-exact, and shorter requests
+    slice from it instead of regenerating."""
+    store = _store(tmp_path)
+    short = store.get("go", EventKind.VALUE, LENGTH, 2)
+    short_pcs = np.asarray(short.pcs).copy()
+    short_values = np.asarray(short.values).copy()
+
+    long = store.get("go", EventKind.VALUE, LENGTH, 4)
+    assert len(long) == 4 * LENGTH
+    np.testing.assert_array_equal(
+        np.asarray(long.pcs)[:2 * LENGTH], short_pcs)
+
+    key = TraceKey("go", EventKind.VALUE, LENGTH,
+                   store.resolve_seed("go", EventKind.VALUE, None))
+    stamp = os.stat(store._paths(key)[0]).st_mtime_ns
+    again = store.get("go", EventKind.VALUE, LENGTH, 2)
+    assert os.stat(store._paths(key)[0]).st_mtime_ns == stamp
+    assert len(again) == 2 * LENGTH
+    np.testing.assert_array_equal(np.asarray(again.pcs), short_pcs)
+    np.testing.assert_array_equal(np.asarray(again.values), short_values)
+
+
+def test_distinct_keys_get_distinct_files(tmp_path):
+    store = _store(tmp_path)
+    store.get("gcc", EventKind.VALUE, LENGTH, 2)
+    store.get("gcc", EventKind.VALUE, 2 * LENGTH, 2)
+    store.get("gcc", EventKind.EDGE, LENGTH, 2)
+    names = sorted(os.listdir(store.directory))
+    assert len(names) == 6  # three keys x (pcs, values)
