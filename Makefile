@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-experiments experiments examples clean
+.PHONY: install test bench bench-full bench-kernels bench-experiments experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,12 @@ bench:
 # The paper's exact operating points (1M-event long intervals).
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Kernel + multi-session fold throughput; the result file is written
+# atomically (temp file + rename), so an interrupted run never leaves
+# a truncated BENCH_kernels.json behind.
+bench-kernels:
+	$(PYTHON) -m repro.cli bench -o benchmarks/results/BENCH_kernels.json
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner all
@@ -36,3 +42,4 @@ examples:
 clean:
 	rm -rf .pytest_cache .hypothesis build dist
 	find . -name __pycache__ -type d -exec rm -rf {} +
+	find benchmarks/results -name '.bench-*.json' -delete 2>/dev/null || true

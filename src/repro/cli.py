@@ -194,8 +194,10 @@ def _add_profiler_flags(parser: argparse.ArgumentParser) -> None:
                         choices=list(BACKENDS),
                         help="event-processing backend: the NumPy batch "
                              "kernels ('vectorized', the default via "
-                             "'auto') or the per-event reference "
-                             "('scalar')")
+                             "'auto'), the per-event reference "
+                             "('scalar'), or the cross-session fold "
+                             "('batched': one kernel dispatch per tick "
+                             "over all sessions sharing a shape)")
 
 
 def config_from_args(args: argparse.Namespace) -> ProfilerConfig:
@@ -434,6 +436,77 @@ def _bench_feed_vectorized(profiler, pcs, values, spec):
             profiler.end_interval()
 
 
+#: Multi-session fold operating point: concurrent sessions advance in
+#: lockstep ticks of a small per-session chunk -- the latency-bound
+#: streaming regime the batched cross-session dispatch is built for.
+_BENCH_SESSION_COUNTS = [1, 8, 64]
+_BENCH_QUICK_SESSION_COUNTS = [1, 8]
+_BENCH_SESSION_INTERVALS = 2
+_BENCH_QUICK_SESSION_INTERVALS = 1
+_BENCH_SESSION_SPEC = (10_000, 0.01)
+_BENCH_QUICK_SESSION_SPEC = (2_000, 0.01)
+_BENCH_SESSION_TICK = 100
+
+
+def _bench_feed_sessions(config, backend, streams, spec, time_module):
+    """Time one backend serving ``len(streams)`` concurrent sessions.
+
+    Every tick advances each session by ``_BENCH_SESSION_TICK`` events.
+    ``scalar-chunked`` and ``vectorized`` serve sessions one at a time
+    (one ``observe_chunk`` / ``observe_array_chunk`` call per session
+    per tick); ``batched`` folds the whole tick into a single
+    :class:`~repro.core.batched.BatchedKernelRunner` dispatch.
+    Returns ``(seconds, ticks, kernel_dispatches)``.
+    """
+    from .core.batched import BatchedKernelRunner
+    from .profiling.session import ProfilingSession
+
+    resolved = config.with_backend(
+        "scalar" if backend == "scalar-chunked" else "vectorized")
+    profilers = [_bench_profiler(resolved) for _ in streams]
+    runner = BatchedKernelRunner()
+    tick = _BENCH_SESSION_TICK
+    length = spec.length
+    total = len(streams[0][0])
+    if backend == "scalar-chunked":
+        functions = [ProfilingSession._hash_functions(profiler)
+                     for profiler in profilers]
+    ticks = 0
+    offset = 0
+    started = time_module.perf_counter()
+    while offset < total:
+        take = min(tick, length - offset % length, total - offset)
+        stop = offset + take
+        ticks += 1
+        if backend == "batched":
+            runner.dispatch(
+                [(profiler, pcs[offset:stop], values[offset:stop])
+                 for profiler, (pcs, values) in zip(profilers, streams)])
+        elif backend == "vectorized":
+            for profiler, (pcs, values) in zip(profilers, streams):
+                profiler.observe_array_chunk(pcs[offset:stop],
+                                             values[offset:stop])
+        else:
+            for profiler, (pcs, values), funcs in zip(profilers, streams,
+                                                      functions):
+                piece_pcs = pcs[offset:stop]
+                piece_values = values[offset:stop]
+                events = list(zip(piece_pcs.tolist(),
+                                  piece_values.tolist()))
+                index_lists = [
+                    f.index_array(piece_pcs, piece_values).tolist()
+                    for f in funcs]
+                profiler.observe_chunk(events, index_lists)
+        if stop % length == 0:
+            for profiler in profilers:
+                profiler.end_interval()
+        offset = stop
+    elapsed = time_module.perf_counter() - started
+    dispatches = (runner.dispatches if backend == "batched"
+                  else len(streams) * ticks)
+    return elapsed, ticks, dispatches
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     """Measure profiler event throughput per backend and architecture.
 
@@ -510,6 +583,70 @@ def _run_bench(args: argparse.Namespace) -> int:
                 "speedup_vs_chunked": chunked,
             })
 
+    # -- multi-session fold: batched vs per-session dispatch ----------
+    session_counts = (_BENCH_QUICK_SESSION_COUNTS if args.quick
+                      else _BENCH_SESSION_COUNTS)
+    session_spec = IntervalSpec(*(_BENCH_QUICK_SESSION_SPEC if args.quick
+                                  else _BENCH_SESSION_SPEC))
+    session_intervals = (_BENCH_QUICK_SESSION_INTERVALS if args.quick
+                         else _BENCH_SESSION_INTERVALS)
+    per_session = session_spec.length * session_intervals
+    sessions_out = []
+    fold_speedups = {}
+    for figure, factory in (("fig07", best_single_hash),
+                            ("fig12", best_multi_hash)):
+        config = factory(session_spec)
+        for count in session_counts:
+            streams = [
+                benchmark_generator(args.benchmark,
+                                    seed=args.seed + position
+                                    ).chunk(per_session)
+                for position in range(count)]
+            total_events = count * per_session
+            rows = {}
+            for backend in ("scalar-chunked", "vectorized", "batched"):
+                repeats = (1 if backend == "scalar-chunked"
+                           else max(1, args.repeats))
+                best = min(
+                    (_bench_feed_sessions(config, backend, streams,
+                                          session_spec, time)
+                     for _ in range(repeats)),
+                    key=lambda result: result[0])
+                elapsed, ticks, dispatches = best
+                rows[backend] = {
+                    "seconds": elapsed,
+                    "events_per_second": total_events / elapsed,
+                    "ticks": ticks,
+                    "kernel_dispatches": dispatches,
+                    "dispatches_per_tick": dispatches / ticks,
+                }
+                print(f"{figure} {config.label:>14} sessions={count:<3} "
+                      f"{backend:>14}: "
+                      f"{total_events / elapsed:>12,.0f} events/s  "
+                      f"({elapsed:.3f}s, {dispatches / ticks:.0f} "
+                      f"dispatch(es)/tick)")
+            fold = rows["batched"]["events_per_second"]
+            vs_vectorized = fold / rows["vectorized"]["events_per_second"]
+            vs_scalar = fold / rows["scalar-chunked"]["events_per_second"]
+            key = f"{config.label}@{count}"
+            fold_speedups[key] = vs_vectorized
+            print(f"{figure} {config.label:>14} sessions={count:<3} "
+                  f"   fold speedup: {vs_vectorized:.2f}x vs vectorized, "
+                  f"{vs_scalar:.2f}x vs scalar-chunked")
+            sessions_out.append({
+                "figure": figure,
+                "architecture": config.label,
+                "sessions": count,
+                "interval_length": session_spec.length,
+                "threshold": session_spec.threshold,
+                "events_per_session": per_session,
+                "tick_events": _BENCH_SESSION_TICK,
+                "events": total_events,
+                "rows": rows,
+                "fold_speedup_vs_vectorized": vs_vectorized,
+                "fold_speedup_vs_scalar_chunked": vs_scalar,
+            })
+
     report = {
         "benchmark": args.benchmark,
         "seed": args.seed,
@@ -517,15 +654,36 @@ def _run_bench(args: argparse.Namespace) -> int:
         "workloads": workloads,
         "speedups": speedups,
         "chunked_speedups": chunked_speedups,
+        "sessions": sessions_out,
+        "session_fold_speedups": fold_speedups,
     }
-    directory = os.path.dirname(args.output)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    _write_json_atomic(args.output, report)
     print(f"wrote {args.output}")
     return 0
+
+
+def _write_json_atomic(path: str, payload) -> None:
+    """Write *payload* as JSON via a temp file + rename, so a reader
+    (or an interrupted run) never sees a half-written result file."""
+    import json
+    import os
+    import tempfile
+
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    handle, temp_path = tempfile.mkstemp(dir=directory,
+                                         prefix=".bench-", suffix=".json")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
 
 
 def _bench_profiler(config):

@@ -98,6 +98,12 @@ class HardwareProfiler(abc.ABC):
     #: materializing per-event tuple lists entirely.
     supports_array_chunks: bool = False
 
+    #: True when this instance opted into cross-session batch dispatch
+    #: (``backend="batched"``): drivers collect its chunks and hand
+    #: them to a :class:`repro.core.batched.BatchedKernelRunner`
+    #: alongside other tenants' instead of dispatching per profiler.
+    batched_dispatch: bool = False
+
     def __init__(self, interval: IntervalSpec) -> None:
         self.interval = interval
         self._interval_index = 0

@@ -32,8 +32,12 @@ DEFAULT_TOTAL_ENTRIES = 2048
 
 #: Valid :attr:`ProfilerConfig.backend` values.  ``auto`` defers to the
 #: ``REPRO_BACKEND`` environment variable and otherwise picks the
-#: vectorized kernels (:mod:`repro.core.kernels`).
-BACKENDS = ("auto", "scalar", "vectorized")
+#: vectorized kernels (:mod:`repro.core.kernels`).  ``batched`` builds
+#: the same kernels but additionally opts the profiler into
+#: cross-session batch dispatch (:mod:`repro.core.batched`): drivers
+#: that hold chunks for several profilers at once fold them into one
+#: NumPy call chain per tick.
+BACKENDS = ("auto", "scalar", "vectorized", "batched")
 
 #: Environment variable consulted by ``backend="auto"``; lets CI run
 #: the whole suite under either backend without touching configs.
@@ -190,7 +194,8 @@ class ProfilerConfig:
 
     @property
     def resolved_backend(self) -> str:
-        """The concrete backend to build: ``scalar`` or ``vectorized``.
+        """The concrete backend to build: ``scalar``, ``vectorized``
+        or ``batched``.
 
         ``auto`` consults :data:`BACKEND_ENV` and defaults to the
         vectorized kernels; both results are deterministic per process
@@ -199,10 +204,10 @@ class ProfilerConfig:
         if self.backend != "auto":
             return self.backend
         value = os.environ.get(BACKEND_ENV, "vectorized")
-        if value not in ("scalar", "vectorized"):
+        if value not in ("scalar", "vectorized", "batched"):
             raise ValueError(
-                f"{BACKEND_ENV} must be 'scalar' or 'vectorized', "
-                f"got {value!r}")
+                f"{BACKEND_ENV} must be 'scalar', 'vectorized' or "
+                f"'batched', got {value!r}")
         return value
 
     def with_backend(self, backend: str) -> "ProfilerConfig":

@@ -256,23 +256,41 @@ class _ChunkAccumulator:
                  "replaceable", "entry_refs", "pending", "_dirty")
 
     def __init__(self, table: AccumulatorTable, unique: np.ndarray,
-                 threshold: int, stats) -> None:
+                 threshold: int, stats,
+                 resident: Optional[np.ndarray] = None,
+                 entry_refs=None,
+                 scan: bool = True) -> None:
         self.table = table
         self.unique = unique
         self.threshold = threshold
         self.stats = stats
-        self.resident = np.zeros(len(unique), dtype=bool)
+        # The batched runner passes per-tenant *views* into one shared
+        # residency array (and a matching object-dtype entry-ref array)
+        # so a whole multi-session batch gathers residency and scatters
+        # entry references in single indexing operations; mutations
+        # through the views stay visible to the batch kernels.
+        if resident is None:
+            resident = np.zeros(len(unique), dtype=bool)
+        self.resident = resident
         self.replaceable = 0
-        self.entry_refs: List[Optional[AccumulatorEntry]] = \
-            [None] * len(unique)
+        if entry_refs is None:
+            entry_refs = [None] * len(unique)
+        self.entry_refs = entry_refs
         self.pending = np.zeros(len(unique), dtype=np.int64)
         self._dirty = False
+        if not scan:
+            # The batched runner locates every tenant's entries in one
+            # group-wide pass and fills ``resident``/``entry_refs``/
+            # ``replaceable`` itself (see ``_Batch.__init__``).
+            return
         entries = table.raw_entries()
         if entries:
-            keys = np.empty(len(entries), dtype=PAIR_DTYPE)
-            for position, (event, entry) in enumerate(entries.items()):
-                keys["p"][position] = event[0]
-                keys["v"][position] = event[1]
+            entry_list = list(entries.values())
+            key_fields = np.fromiter(entries.keys(),
+                                     dtype=np.dtype((np.uint64, 2)),
+                                     count=len(entries))
+            keys = key_fields.reshape(-1).view(PAIR_DTYPE)
+            for entry in entry_list:
                 if entry.replaceable:
                     self.replaceable += 1
             locations = np.searchsorted(unique, keys)
@@ -280,10 +298,10 @@ class _ChunkAccumulator:
             matched = unique[locations] == keys
             self.resident[locations[matched]] = True
             refs = self.entry_refs
-            for (event, entry), location, hit in zip(
-                    entries.items(), locations.tolist(), matched.tolist()):
-                if hit:
-                    refs[location] = entry
+            hits = np.flatnonzero(matched)
+            for position, location in zip(hits.tolist(),
+                                          locations[hits].tolist()):
+                refs[location] = entry_list[position]
 
     @property
     def saturated(self) -> bool:
@@ -306,6 +324,7 @@ class _ChunkAccumulator:
         if entry.replaceable and entry.count >= self.threshold:
             entry.replaceable = False
             self.replaceable -= 1
+            self.table.replaceable_count -= 1
         self.stats.accumulator_hits += 1
 
     def bulk_hits(self, event_ids: np.ndarray) -> None:
@@ -330,6 +349,7 @@ class _ChunkAccumulator:
         hit_ids = np.flatnonzero(self.pending)
         refs = self.entry_refs
         threshold = self.threshold
+        table = self.table
         for event_id, count in zip(hit_ids.tolist(),
                                    self.pending[hit_ids].tolist()):
             entry = refs[event_id]
@@ -337,6 +357,7 @@ class _ChunkAccumulator:
             if entry.replaceable and entry.count >= threshold:
                 entry.replaceable = False
                 self.replaceable -= 1
+                table.replaceable_count -= 1
         self.pending[hit_ids] = 0
         self._dirty = False
 
@@ -712,6 +733,50 @@ class _ConservativeSpan:
             self.counter_arrays[t][touched[low:high]
                                    - t * self.table_size] = finals[low:high]
         return updates
+
+    def apply_masked(self, mask: np.ndarray) -> np.ndarray:
+        """:meth:`apply` for any per-event subset, not just a prefix.
+
+        The batched multi-session kernel truncates each tenant at its
+        own promotion boundary, so the events to commit form a
+        *per-chain* prefix (chains never span tenants) rather than a
+        prefix of the packed span -- which is all exactness needs: an
+        event's minimum depends only on earlier events of its own
+        chains, and every earlier chain-mate of a committed event is
+        committed too.
+
+        Returns the per-event scalar-equivalent hash-update counts
+        (zero outside *mask*) so the caller can scatter
+        ``stats.hash_updates`` back to each tenant.
+        """
+        minima = self.minima
+        deltas = np.where(mask, np.minimum(minima + 1, self.cap), 0)
+        key = self.seg_base + deltas[self.event_sorted]
+        np.maximum.accumulate(key, out=key)
+        last = np.empty(len(key), dtype=bool)
+        last[:-1] = self.starts[1:]
+        last[-1] = True
+        finals = key[last] - self.seg_base[last]
+        exclusive = np.empty_like(key)
+        exclusive[1:] = key[:-1]
+        exclusive[0] = 0
+        exclusive -= self.seg_base
+        exclusive[self.starts] = 0
+        np.maximum(exclusive, self.init_sorted, out=exclusive)
+        before = np.empty(len(key), dtype=np.int64)
+        before[self.order] = exclusive
+        before = before.reshape(self.num_tables, self.length)
+        per_event = ((before == minima[np.newaxis, :])
+                     & mask[np.newaxis, :]).sum(axis=0, dtype=np.int64)
+        np.maximum(finals, self.init_sorted[last], out=finals)
+        touched = self.sorted_chains[last]
+        edges = np.searchsorted(
+            touched, np.arange(self.num_tables + 1) * self.table_size)
+        for t in range(self.num_tables):
+            low, high = int(edges[t]), int(edges[t + 1])
+            self.counter_arrays[t][touched[low:high]
+                                   - t * self.table_size] = finals[low:high]
+        return per_event
 
 
 class VectorizedMultiHashProfiler(MultiHashProfiler):

@@ -48,6 +48,10 @@ class MultiHashProfiler(HardwareProfiler):
                  ) -> None:
         super().__init__(config.interval)
         self.config = config
+        #: True when the caller supplied explicit hash functions; the
+        #: batched runner only folds profilers whose functions derive
+        #: from the config seed (and are therefore shared per seed).
+        self.custom_hash = hash_functions is not None
         if hash_functions is None:
             family = HashFunctionFamily(config.index_bits,
                                         seed=config.hash_seed)
@@ -78,7 +82,12 @@ class MultiHashProfiler(HardwareProfiler):
         self._count_event()
         threshold = self.interval.threshold_count
 
-        if self.config.shielding and event in self.accumulator:
+        # Residency is decided before the event can promote itself: a
+        # promotion's initial count already includes this occurrence,
+        # so the unshielded hit below must not count it again.
+        resident = event in self.accumulator
+
+        if self.config.shielding and resident:
             self.accumulator.record_hit(event, threshold)
             self.stats.accumulator_hits += 1
             return
@@ -117,10 +126,10 @@ class MultiHashProfiler(HardwareProfiler):
         # tuple's occurrences, the crossing is missed entirely and the
         # tuple becomes a false negative (the Figure 12 failure mode of
         # many-table configurations).
-        if minimum < threshold <= estimate:
+        if minimum < threshold <= estimate and not resident:
             self._promote(event, indices, estimate)
 
-        if not self.config.shielding and event in self.accumulator:
+        if not self.config.shielding and resident:
             self.accumulator.record_hit(event, threshold)
             self.stats.accumulator_hits += 1
 
@@ -157,6 +166,7 @@ class MultiHashProfiler(HardwareProfiler):
                 entry.count += 1
                 if entry.replaceable and entry.count >= threshold:
                     entry.replaceable = False
+                    self.accumulator.replaceable_count -= 1
                 accumulator_hits += 1
                 continue
             if conservative:
@@ -201,6 +211,7 @@ class MultiHashProfiler(HardwareProfiler):
                 entry.count += 1
                 if entry.replaceable and entry.count >= threshold:
                     entry.replaceable = False
+                    self.accumulator.replaceable_count -= 1
                 accumulator_hits += 1
         stats.accumulator_hits += accumulator_hits
         stats.hash_updates += hash_updates
@@ -262,14 +273,20 @@ def build_profiler(config: ProfilerConfig) -> HardwareProfiler:
     from .single_hash import SingleHashProfiler
 
     single = config.num_tables == 1 and not config.conservative_update
-    if config.resolved_backend == "vectorized":
+    backend = config.resolved_backend
+    if backend in ("vectorized", "batched"):
         from .kernels import (MAX_KERNEL_COUNTER_BITS,
                               VectorizedMultiHashProfiler,
                               VectorizedSingleHashProfiler)
         if config.counter_bits <= MAX_KERNEL_COUNTER_BITS:
-            if single:
-                return VectorizedSingleHashProfiler(config)
-            return VectorizedMultiHashProfiler(config)
+            profiler = (VectorizedSingleHashProfiler(config) if single
+                        else VectorizedMultiHashProfiler(config))
+            if backend == "batched":
+                # Same kernels, same state layout; the flag is what
+                # drivers (session feeder, service worker) use to fold
+                # this profiler's chunks into a cross-session dispatch.
+                profiler.batched_dispatch = True
+            return profiler
     if single:
         return SingleHashProfiler(config)
     return MultiHashProfiler(config)

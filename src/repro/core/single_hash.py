@@ -41,6 +41,10 @@ class SingleHashProfiler(HardwareProfiler):
                 f"{config.num_tables}; use MultiHashProfiler instead")
         super().__init__(config.interval)
         self.config = config
+        #: True when the caller supplied an explicit hash function; the
+        #: batched runner only folds profilers whose functions derive
+        #: from the config seed (and are therefore shared per seed).
+        self.custom_hash = hash_function is not None
         self.hash_function = hash_function or HashFunctionFamily(
             config.index_bits, seed=config.hash_seed)[0]
         if self.hash_function.table_size != config.entries_per_table:
@@ -60,9 +64,14 @@ class SingleHashProfiler(HardwareProfiler):
         self._count_event()
         threshold = self.interval.threshold_count
 
+        # Residency is decided before the event can promote itself: a
+        # promotion's initial count already includes this occurrence,
+        # so the unshielded hit below must not count it again.
+        resident = event in self.accumulator
+
         # Shielded path: resident tuples are counted associatively and
         # bypass the hash table (Section 5.2).
-        if self.config.shielding and event in self.accumulator:
+        if self.config.shielding and resident:
             self.accumulator.record_hit(event, threshold)
             self.stats.accumulator_hits += 1
             return
@@ -70,12 +79,12 @@ class SingleHashProfiler(HardwareProfiler):
         index = self._index_of(event)
         count = self.table.increment(index)
         self.stats.hash_updates += 1
-        if count >= threshold:
+        if count >= threshold and not resident:
             self._promote(event, index, count)
 
         # Without shielding (ablation only), resident tuples also count
         # in the accumulator so their reported frequency stays exact.
-        if not self.config.shielding and event in self.accumulator:
+        if not self.config.shielding and resident:
             self.accumulator.record_hit(event, threshold)
             self.stats.accumulator_hits += 1
 
@@ -117,6 +126,7 @@ class SingleHashProfiler(HardwareProfiler):
                 entry.count += 1
                 if entry.replaceable and entry.count >= threshold:
                     entry.replaceable = False
+                    self.accumulator.replaceable_count -= 1
                 accumulator_hits += 1
                 continue
             index = indices[position]
@@ -136,6 +146,7 @@ class SingleHashProfiler(HardwareProfiler):
                 entry.count += 1
                 if entry.replaceable and entry.count >= threshold:
                     entry.replaceable = False
+                    self.accumulator.replaceable_count -= 1
                 accumulator_hits += 1
         stats.accumulator_hits += accumulator_hits
         stats.hash_updates += hash_updates

@@ -114,6 +114,19 @@ class AccumulatorTable:
         self.rejected_inserts = 0
         #: Retained entries evicted to make room for a new promotion.
         self.evictions = 0
+        #: Live count of replaceable entries, maintained at every flag
+        #: flip (including the chunked/batched fast paths, which mutate
+        #: entry flags directly) so kernel dispatch never rescans the
+        #: table to seed its saturation check.
+        self.replaceable_count = 0
+        #: Structural version: bumped whenever the *key set* changes
+        #: (insert, eviction, interval flush).  Flag/count mutations
+        #: leave it alone, so the batched runner can cache the
+        #: materialized key array across ticks.
+        self.version = 0
+        #: ``(version, packed key array, entry list)`` cache owned by
+        #: the batched runner; ``None`` until first used.
+        self.keys_cache = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -136,6 +149,7 @@ class AccumulatorTable:
         entry.count += 1
         if entry.replaceable and entry.count >= threshold_count:
             entry.replaceable = False
+            self.replaceable_count -= 1
         return entry.count
 
     def insert(self, event: ProfileTuple, initial_count: int) -> bool:
@@ -168,11 +182,13 @@ class AccumulatorTable:
                 return False, None
             del self._entries[victim.event]
             self.evictions += 1
+            self.replaceable_count -= 1
             evicted = victim.event
         self._entries[event] = AccumulatorEntry(
             event=event, count=initial_count, replaceable=False,
             stamp=self._next_stamp)
         self._next_stamp += 1
+        self.version += 1
         return True, evicted
 
     def _pick_victim(self) -> Optional[AccumulatorEntry]:
@@ -212,8 +228,11 @@ class AccumulatorTable:
             for entry in self._entries.values():
                 entry.count = 0
                 entry.replaceable = True
+            self.replaceable_count = len(self._entries)
         else:
             self._entries.clear()
+            self.replaceable_count = 0
+        self.version += 1
         return report
 
     def resident_events(self) -> Tuple[ProfileTuple, ...]:

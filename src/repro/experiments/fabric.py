@@ -67,6 +67,11 @@ JOBS_ENV = "REPRO_JOBS"
 CACHE_SCHEMA = 1
 
 
+#: Fewest pending cells worth paying process-pool dispatch for; below
+#: this the fabric runs them in-process even when ``jobs > 1``.
+MIN_POOL_CELLS = 3
+
+
 def default_jobs() -> int:
     """Worker count: ``REPRO_JOBS``, else every available core."""
     configured = os.environ.get(JOBS_ENV)
@@ -374,10 +379,24 @@ class ExperimentFabric:
                                  in outputs[position].items()}
                 for position, cell in enumerate(cells)}
 
+    def _run_in_process(self, pending_count: int) -> bool:
+        """True when a process pool cannot pay for itself.
+
+        Worker fan-out only wins with real parallel hardware and
+        enough pending cells to amortize spin-up; on a single-core box
+        (CI runners, small containers) or for a near-empty batch the
+        pool adds fork and pickling latency for zero overlap, so those
+        runs stay in-process (still through both caches, still
+        bit-identical).
+        """
+        return (self.jobs == 1
+                or pending_count < MIN_POOL_CELLS
+                or (os.cpu_count() or 1) <= 1)
+
     def _execute_cells(self, cells: List[SweepCell],
                        pending: List[int],
                        outputs: List[Optional[Dict]]) -> None:
-        if self.jobs == 1 or len(pending) == 1:
+        if self._run_in_process(len(pending)):
             for position in pending:
                 summaries, seconds = _timed_cell(
                     cells[position], self.trace_store.directory)
@@ -441,7 +460,7 @@ class ExperimentFabric:
             pending.append(position)
 
         if pending:
-            if self.jobs == 1 or len(pending) == 1:
+            if self._run_in_process(len(pending)):
                 fresh = [function(payloads[position])
                          for position in pending]
             else:

@@ -63,10 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of 10K intervals per benchmark")
     parser.add_argument("--benchmarks", type=str, default=None,
                         help="comma-separated benchmark subset")
-    parser.add_argument("--backend", choices=("scalar", "vectorized"),
+    parser.add_argument("--backend",
+                        choices=("scalar", "vectorized", "batched"),
                         default=None,
                         help="profiler backend for every experiment "
-                             "(default: REPRO_BACKEND, else vectorized)")
+                             "(default: REPRO_BACKEND, else vectorized; "
+                             "'batched' folds same-shape sweep cells "
+                             "into one kernel dispatch per chunk)")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for independent cells "
                              "(default: REPRO_JOBS, else all cores)")

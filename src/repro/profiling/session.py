@@ -30,6 +30,7 @@ from typing import (Dict, Iterable, List, Optional, Sequence, Set,
 import numpy as np
 
 from ..core.base import HardwareProfiler, IntervalProfile
+from ..core.batched import BatchedKernelRunner
 from ..core.config import IntervalSpec, ProfilerConfig
 from ..core.hashing import TupleHashFunction
 from ..core.multi_hash import MultiHashProfiler, build_profiler
@@ -321,6 +322,10 @@ class SessionFeeder:
         self._distinct: List[int] = []
         self._functions = [session._hash_functions(profiler)
                            for profiler in session.profilers]
+        #: Folds chunks of every ``backend="batched"`` profiler -- of
+        #: this feeder, and of any other feeder sharing the runner via
+        #: :func:`feed_many` -- into one kernel dispatch per piece.
+        self.runner = BatchedKernelRunner()
         self._pieces: List[Tuple[np.ndarray, np.ndarray]] = []
         self._pending = 0
         self._intervals = 0
@@ -368,9 +373,30 @@ class SessionFeeder:
         return closed
 
     def _observe_piece(self, pcs: np.ndarray, values: np.ndarray) -> None:
+        requests = self._piece_requests(pcs, values)
+        if requests:
+            self.runner.dispatch(requests)
+        self._account_piece(pcs, values)
+
+    def _piece_requests(self, pcs: np.ndarray, values: np.ndarray
+                        ) -> List[Tuple[HardwareProfiler,
+                                        np.ndarray, np.ndarray]]:
+        """Feed every non-batched profiler; return the batch requests.
+
+        Profilers flagged ``batched_dispatch`` are *not* fed here --
+        their ``(profiler, pcs, values)`` requests are returned so the
+        caller can fold them (with other tenants' requests, see
+        :func:`feed_many`) into one
+        :meth:`BatchedKernelRunner.dispatch`.
+        """
+        requests: List[Tuple[HardwareProfiler,
+                             np.ndarray, np.ndarray]] = []
         events = None
         for profiler, functions in zip(self._session.profilers,
                                        self._functions):
+            if profiler.batched_dispatch:
+                requests.append((profiler, pcs, values))
+                continue
             if profiler.supports_array_chunks:
                 # Kernel-backed profilers consume the arrays natively;
                 # no per-event tuple list is ever materialized.
@@ -384,6 +410,10 @@ class SessionFeeder:
                 index_lists = [function.index_array(pcs, values).tolist()
                                for function in functions]
                 profiler.observe_chunk(events, index_lists)
+        return requests
+
+    def _account_piece(self, pcs: np.ndarray, values: np.ndarray) -> None:
+        """Record a fully-observed piece in the interval bookkeeping."""
         self._pieces.append((pcs, values))
         self._pending += len(pcs)
         self.events_fed += len(pcs)
@@ -456,6 +486,75 @@ class SessionFeeder:
         for result in self._results.values():
             del result.profiles[:max(0, len(result.profiles)
                                      - max_profiles)]
+
+
+def feed_many(items: Sequence[Tuple["SessionFeeder",
+                                    np.ndarray, np.ndarray]],
+              runner: Optional[BatchedKernelRunner] = None) -> List[int]:
+    """Feed one batch into each of several feeders, folding dispatches.
+
+    *items* holds ``(feeder, pcs, values)`` triples -- one pending
+    batch per feeder (stream).  Equivalent to calling
+    ``feeder.feed(pcs, values)`` on each in turn (the feeders'
+    split-invariance guarantee makes per-stream results independent of
+    how other streams interleave), but all ``backend="batched"``
+    profilers across *all* feeders are folded into one
+    :meth:`BatchedKernelRunner.dispatch` per round instead of one per
+    feeder.  This is the profile service's per-shard fold: a worker
+    holding batches for many streams pays one kernel dispatch chain
+    per tick, not one per session.
+
+    Rounds advance every feeder at most one interval-bounded piece at
+    a time so chunks never span an interval boundary (the kernels'
+    documented precondition).  Returns the number of intervals each
+    item's batch closed, in *items* order.
+
+    A *runner* may be shared across calls to keep cumulative dispatch
+    counters; by default each call uses a fresh one.
+    """
+    if runner is None:
+        runner = BatchedKernelRunner()
+    if len({id(feeder) for feeder, _, _ in items}) != len(items):
+        # One item per feeder: interval splits are computed per round,
+        # so a feeder's second batch must be concatenated into its
+        # first (split-invariance makes that equivalent), not listed.
+        raise ValueError("feed_many requires at most one batch per "
+                         "feeder; concatenate per-stream batches first")
+    batches = []
+    for feeder, pcs, values in items:
+        pcs = np.ascontiguousarray(pcs, dtype=np.uint64)
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if pcs.shape != values.shape or pcs.ndim != 1:
+            raise ValueError(
+                f"batch arrays must be parallel and 1-D, got shapes "
+                f"{pcs.shape} vs {values.shape}")
+        batches.append((feeder, pcs, values))
+    closed = [0] * len(batches)
+    offsets = [0] * len(batches)
+    while True:
+        requests: List[Tuple[HardwareProfiler,
+                             np.ndarray, np.ndarray]] = []
+        round_pieces = []
+        for position, (feeder, pcs, values) in enumerate(batches):
+            offset = offsets[position]
+            if offset >= len(pcs):
+                continue
+            take = min(len(pcs) - offset,
+                       feeder.interval.length - feeder.pending_events)
+            piece = (pcs[offset:offset + take],
+                     values[offset:offset + take])
+            offsets[position] = offset + take
+            requests.extend(feeder._piece_requests(*piece))
+            round_pieces.append((position, feeder, piece))
+        if not round_pieces:
+            return closed
+        if requests:
+            runner.dispatch(requests)
+        for position, feeder, piece in round_pieces:
+            feeder._account_piece(*piece)
+            if feeder.pending_events == feeder.interval.length:
+                feeder._close_interval(feeder.interval.length)
+                closed[position] += 1
 
 
 class _IntervalTruth:

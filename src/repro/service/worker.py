@@ -19,19 +19,26 @@ the server can multiplex many in-flight requests per worker.
 
 from __future__ import annotations
 
+import queue
 import signal
 import time
-from collections import OrderedDict
-from typing import Any, Dict
+from collections import OrderedDict, deque
+from typing import Any, Dict, List
 
 import numpy as np
 
+from ..core.batched import BatchedKernelRunner
 from ..core.config import ProfilerConfig
-from ..profiling.session import ProfilingSession, SessionFeeder
+from ..profiling.session import ProfilingSession, SessionFeeder, feed_many
 from .protocol import WIRE_DTYPE
 
 #: Closed-stream snapshots retained for late queries, per worker.
 MAX_FINISHED_STREAMS = 128
+
+#: Most ``batch`` requests folded into one worker tick.  Bounds reply
+#: latency for the first op of a tick while still folding every stream
+#: a busy shard has pending into one kernel dispatch chain.
+MAX_BATCH_FOLD = 256
 
 
 class _StreamState:
@@ -103,6 +110,14 @@ class _Worker:
         self.batches = 0
         self.busy_seconds = 0.0
         self.streams_opened = 0
+        #: Folds all ``backend="batched"`` streams' pending chunks into
+        #: one kernel dispatch chain per tick (see
+        #: :mod:`repro.core.batched`).
+        self.runner = BatchedKernelRunner()
+        #: Folded feeds served (each covers >= 1 ``batch`` ops).
+        self.ticks = 0
+        #: Kernel dispatch chains those ticks issued.
+        self.dispatches = 0
 
     # -- operations ----------------------------------------------------
 
@@ -124,24 +139,74 @@ class _Worker:
                 "interval_length": config.interval.length}
 
     def batch(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        state = self.streams.get(message["stream"])
-        if state is None:
-            return _error(f"stream {message['stream']!r} is not open",
-                          "unknown-stream")
-        pcs = np.frombuffer(message["pcs"], dtype=WIRE_DTYPE)
-        values = np.frombuffer(message["values"], dtype=WIRE_DTYPE)
-        started = time.perf_counter()
-        closed = state.feeder.feed(pcs, values)
-        self.busy_seconds += time.perf_counter() - started
-        state.batches += 1
-        self.batches += 1
-        self.events += len(pcs)
-        if closed:
-            state.feeder.trim(self.snapshot_intervals)
-        return {"ok": True, "stream": state.stream,
-                "events": state.feeder.events_fed,
-                "intervals_completed": state.feeder.intervals_completed,
-                "intervals_closed": closed}
+        return self.batch_many([message])[0]
+
+    def batch_many(self, messages: List[Dict[str, Any]]
+                   ) -> List[Dict[str, Any]]:
+        """Serve several ``batch`` ops as one folded feed (one tick).
+
+        All target streams advance through :func:`feed_many`, so every
+        ``backend="batched"`` profiler across the shard shares one
+        kernel dispatch chain per round instead of dispatching per
+        stream.  Several ops for one stream are concatenated in
+        arrival order (equivalent by the feeder's split-invariance);
+        the stream's total ``intervals_closed`` is reported on its
+        last op of the tick.  Returns one reply per message, in order.
+        """
+        replies: List[Dict[str, Any]] = [None] * len(messages)
+        op_ids: Dict[str, List[int]] = {}
+        order: List[str] = []
+        for position, message in enumerate(messages):
+            stream = message["stream"]
+            if stream not in self.streams:
+                replies[position] = _error(
+                    f"stream {stream!r} is not open", "unknown-stream")
+                continue
+            if stream not in op_ids:
+                op_ids[stream] = []
+                order.append(stream)
+            op_ids[stream].append(position)
+        items = []
+        fed_events: Dict[str, int] = {}
+        for stream in order:
+            arrays = [
+                (np.frombuffer(messages[i]["pcs"], dtype=WIRE_DTYPE),
+                 np.frombuffer(messages[i]["values"], dtype=WIRE_DTYPE))
+                for i in op_ids[stream]]
+            if len(arrays) == 1:
+                pcs, values = arrays[0]
+            else:
+                pcs = np.concatenate([pair[0] for pair in arrays])
+                values = np.concatenate([pair[1] for pair in arrays])
+            items.append((self.streams[stream].feeder, pcs, values))
+            fed_events[stream] = len(pcs)
+        if items:
+            started = time.perf_counter()
+            dispatches_before = self.runner.dispatches
+            closed_by_item = feed_many(items, self.runner)
+            self.busy_seconds += time.perf_counter() - started
+            self.ticks += 1
+            self.dispatches += self.runner.dispatches - dispatches_before
+        else:
+            closed_by_item = []
+        for stream, closed in zip(order, closed_by_item):
+            state = self.streams[stream]
+            positions = op_ids[stream]
+            state.batches += len(positions)
+            self.batches += len(positions)
+            self.events += fed_events[stream]
+            if closed:
+                state.feeder.trim(self.snapshot_intervals)
+            for ordinal, position in enumerate(positions):
+                replies[position] = {
+                    "ok": True, "stream": stream,
+                    "events": state.feeder.events_fed,
+                    "intervals_completed":
+                        state.feeder.intervals_completed,
+                    "intervals_closed":
+                        closed if ordinal == len(positions) - 1 else 0,
+                }
+        return replies
 
     def snapshot(self, message: Dict[str, Any]) -> Dict[str, Any]:
         stream = message["stream"]
@@ -179,6 +244,10 @@ class _Worker:
             "events_per_second": (self.events / busy) if busy else 0.0,
             "chunk_latency_ms": (1000.0 * busy / self.batches
                                  if self.batches else 0.0),
+            "ticks": self.ticks,
+            "kernel_dispatches": self.dispatches,
+            "dispatches_per_tick": (self.dispatches / self.ticks
+                                    if self.ticks else 0.0),
             "streams_open": len(self.streams),
             "streams_opened": self.streams_opened,
             "streams": per_stream,
@@ -223,19 +292,45 @@ def worker_main(worker_id: int, requests, replies,
     except (ValueError, OSError):  # non-main thread / exotic platform
         pass
     worker = _Worker(worker_id, snapshot_intervals)
+    backlog: "deque[Dict[str, Any]]" = deque()
     while True:
-        message = requests.get()
+        message = backlog.popleft() if backlog else requests.get()
         op = message.get("op")
         if op == "shutdown":
             reply = worker.drain()
             reply["req"] = message.get("req")
             replies.put(reply)
             break
+        if op == "batch":
+            # Fold every already-queued batch op into this tick so all
+            # the shard's pending streams share one kernel dispatch
+            # chain.  A non-batch op ends the fold (it is served next
+            # iteration via the backlog, preserving queue order).
+            fold = [message]
+            while len(fold) < MAX_BATCH_FOLD and not backlog:
+                try:
+                    pending = requests.get_nowait()
+                except queue.Empty:
+                    break
+                if pending.get("op") == "batch":
+                    fold.append(pending)
+                else:
+                    backlog.append(pending)
+                    break
+            try:
+                fold_replies = worker.batch_many(fold)
+            except Exception as error:  # noqa: BLE001 - shard survives
+                fold_replies = [
+                    _error(f"worker {worker_id} failed on 'batch': "
+                           f"{error}", "worker-error")
+                    for _ in fold]
+            for folded, reply in zip(fold, fold_replies):
+                reply["req"] = folded.get("req")
+                replies.put(reply)
+            continue
         try:
             if op == "open":
                 reply = worker.open(message)
-            elif op == "batch":
-                reply = worker.batch(message)
             elif op == "snapshot":
                 reply = worker.snapshot(message)
             elif op == "close":

@@ -40,9 +40,10 @@ WORKLOADS = {
 
 
 def run_workload(config):
-    """Both backends over the fixture stream; returns their snapshots."""
+    """Every backend over the fixture stream; returns their snapshots."""
     session = ProfilingSession([config.with_backend("scalar"),
-                                config.with_backend("vectorized")],
+                                config.with_backend("vectorized"),
+                                config.with_backend("batched")],
                                keep_profiles=True)
     outcome = session.run(benchmark_generator("gcc", seed=SEED),
                           max_intervals=INTERVALS)
@@ -70,10 +71,11 @@ def run_workload(config):
 def test_golden_profiles(workload, update_golden):
     observed = run_workload(WORKLOADS[workload]())
     backends = list(observed)
-    assert len(backends) == 2
+    assert len(backends) == 3
     # Cross-backend agreement first: a fixture must never capture a
     # backend divergence as "expected".
-    assert observed[backends[0]] == observed[backends[1]]
+    for other in backends[1:]:
+        assert observed[other] == observed[backends[0]]
     snapshot = observed[backends[0]]
 
     path = GOLDEN_DIR / f"{workload}.json"

@@ -231,12 +231,23 @@ def test_build_profiler_backend_dispatch(monkeypatch):
                       SingleHashProfiler)
     vectorized = build_profiler(config.with_backend("vectorized"))
     assert isinstance(vectorized, VectorizedSingleHashProfiler)
+    assert not vectorized.batched_dispatch
     multi = ProfilerConfig(interval=SPEC, total_entries=16, num_tables=4,
                            conservative_update=True)
     assert isinstance(build_profiler(multi.with_backend("vectorized")),
                       VectorizedMultiHashProfiler)
     assert type(build_profiler(multi.with_backend("scalar"))) \
         is MultiHashProfiler
+
+    # "batched" builds the same kernels flagged for fold-by-a-runner:
+    # chunks are deferred to a BatchedKernelRunner dispatch instead of
+    # being consumed in observe_array_chunk by the feeder itself.
+    batched = build_profiler(config.with_backend("batched"))
+    assert isinstance(batched, VectorizedSingleHashProfiler)
+    assert batched.batched_dispatch
+    batched_multi = build_profiler(multi.with_backend("batched"))
+    assert isinstance(batched_multi, VectorizedMultiHashProfiler)
+    assert batched_multi.batched_dispatch
 
     # "auto" follows REPRO_BACKEND and defaults to vectorized.
     monkeypatch.delenv("REPRO_BACKEND", raising=False)
