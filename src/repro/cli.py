@@ -28,6 +28,12 @@ Subcommands::
         Query a live snapshot of an open stream; ``--stats`` prints
         server and worker statistics instead.
 
+    repro-profile scenario generate --config stress_test --seed 42
+        Emit a scenario's JSONL event stream (``-o`` to a file,
+        ``--store`` to materialize it in the shared trace store);
+        ``scenario validate`` checks a config, ``scenario list``
+        prints the shipped presets.
+
 The profiler configuration flags mirror
 :class:`~repro.core.config.ProfilerConfig`: ``--tables``, ``--entries``,
 ``--interval``, ``--threshold``, ``--no-conservative-update``,
@@ -42,6 +48,7 @@ from typing import List, Optional
 
 from .core.config import BACKENDS, IntervalSpec, ProfilerConfig
 from .core.tuples import EventKind
+from .ioutil import atomic_write_json
 from .metrics.reports import format_table
 from .profiling.session import ProfilingSession
 from .workloads.benchmarks import BENCHMARK_NAMES, benchmark_generator
@@ -115,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
     push.add_argument("--trace", default=None,
                       help="push a recorded .npz trace instead of a "
                            "benchmark stream")
+    push.add_argument("--scenario", default=None,
+                      help="push a scenario stream (YAML path or "
+                           "preset name) instead of a benchmark "
+                           "stream")
     push.add_argument("--events", type=int, default=100_000,
                       help="events to push from a benchmark stream "
                            "(default 100000; ignored with --trace)")
@@ -143,6 +154,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result file (default "
                             "benchmarks/results/BENCH_kernels.json)")
 
+    scenario = commands.add_parser(
+        "scenario", help="generate, validate, or list stream scenarios")
+    scenario_commands = scenario.add_subparsers(dest="scenario_command",
+                                                required=True)
+    generate = scenario_commands.add_parser(
+        "generate", help="emit a scenario's JSONL event stream")
+    _add_scenario_flags(generate)
+    generate.add_argument("--intervals", type=int, default=None,
+                          help="intervals to emit (default: the "
+                               "config's profile point)")
+    generate.add_argument("-o", "--output", default=None,
+                          help="JSONL output path (default stdout)")
+    generate.add_argument("--store", action="store_true",
+                          help="materialize the stream into the shared "
+                               "trace store instead of emitting JSONL")
+    validate = scenario_commands.add_parser(
+        "validate", help="check a scenario config and print its "
+                         "fingerprint")
+    _add_scenario_flags(validate)
+    scenario_commands.add_parser(
+        "list", help="list the shipped preset scenarios")
+
     snapshot = commands.add_parser(
         "snapshot", help="query a live stream snapshot or server stats")
     _add_service_flags(snapshot)
@@ -154,6 +187,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="candidates to print from the last "
                                "interval")
     return parser
+
+
+def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", required=True,
+                        help="scenario YAML path or preset name (see "
+                             "'scenario list')")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the config's seed")
 
 
 def _add_service_flags(parser: argparse.ArgumentParser) -> None:
@@ -363,6 +404,14 @@ def _push_with(client_type, args: argparse.Namespace, config) -> int:
             client.push_trace(args.stream, trace,
                               batch_events=args.batch)
             print(f"pushed {len(trace)} events from {args.trace}")
+        elif args.scenario:
+            from .workloads.scenarios import ScenarioStream, load_scenario
+
+            scenario = load_scenario(args.scenario, seed=args.seed)
+            client.push_generator(args.stream, ScenarioStream(scenario),
+                                  args.events, batch_events=args.batch)
+            print(f"pushed {args.events} events from "
+                  f"scenario:{scenario.name}")
         else:
             generator = benchmark_generator(args.benchmark,
                                             EventKind(args.kind),
@@ -657,33 +706,53 @@ def _run_bench(args: argparse.Namespace) -> int:
         "sessions": sessions_out,
         "session_fold_speedups": fold_speedups,
     }
-    _write_json_atomic(args.output, report)
+    atomic_write_json(args.output, report)
     print(f"wrote {args.output}")
     return 0
 
 
-def _write_json_atomic(path: str, payload) -> None:
-    """Write *payload* as JSON via a temp file + rename, so a reader
-    (or an interrupted run) never sees a half-written result file."""
-    import json
-    import os
-    import tempfile
+def _run_scenario(args: argparse.Namespace) -> int:
+    from .workloads import scenarios
 
-    directory = os.path.dirname(path) or "."
-    os.makedirs(directory, exist_ok=True)
-    handle, temp_path = tempfile.mkstemp(dir=directory,
-                                         prefix=".bench-", suffix=".json")
-    try:
-        with os.fdopen(handle, "w", encoding="utf-8") as stream:
-            json.dump(payload, stream, indent=2)
-            stream.write("\n")
-        os.replace(temp_path, path)
-    except BaseException:
-        try:
-            os.unlink(temp_path)
-        except OSError:
-            pass
-        raise
+    if args.scenario_command == "list":
+        presets = scenarios.list_presets()
+        if not presets:
+            print("no shipped presets found", file=sys.stderr)
+            return 1
+        for name in presets:
+            config = scenarios.load_scenario(name)
+            description = " ".join(config.description.split())
+            print(f"{name}: {description or '(no description)'}")
+        return 0
+    config = scenarios.load_scenario(args.config, seed=args.seed)
+    if args.scenario_command == "validate":
+        profile = config.profile
+        print(f"{config.name}: ok")
+        print(f"  kind {config.kind.value}, seed {config.seed}")
+        print(f"  profile: interval {profile.interval_length:,} @ "
+              f"{100 * profile.threshold:g}%, "
+              f"{profile.intervals} intervals")
+        print(f"  fingerprint {config.fingerprint()}")
+        return 0
+    if args.store:
+        import os
+
+        from .workloads.trace_store import TraceStore, default_cache_dir
+
+        store = TraceStore(os.path.join(default_cache_dir(), "traces"))
+        trace = store.get_scenario(config, num_intervals=args.intervals)
+        print(f"materialized {len(trace)} events for "
+              f"scenario:{config.name} (fingerprint "
+              f"{config.fingerprint()[:20]}) under {store.directory}")
+        return 0
+    if args.output:
+        events = scenarios.write_jsonl(config, args.output,
+                                       num_intervals=args.intervals)
+        print(f"wrote {events} events to {args.output}")
+        return 0
+    for line in scenarios.jsonl_lines(config, num_intervals=args.intervals):
+        print(line)
+    return 0
 
 
 def _bench_profiler(config):
@@ -738,7 +807,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"stream": _run_stream, "trace": _run_trace,
                 "record": _run_record, "serve": _run_serve,
                 "push": _run_push, "snapshot": _run_snapshot,
-                "bench": _run_bench}
+                "bench": _run_bench, "scenario": _run_scenario}
     try:
         return handlers[args.command](args)
     except (ValueError, FileNotFoundError) as error:

@@ -21,7 +21,6 @@ and ``--refresh`` recomputes but rewrites it.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -29,6 +28,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional
 
 from ..core.config import LONG_INTERVAL
+from ..ioutil import atomic_write_json
 from .base import EXPERIMENTS, ExperimentScale
 from .fabric import ExperimentFabric, activate, default_jobs
 
@@ -36,8 +36,8 @@ from .fabric import ExperimentFabric, activate, default_jobs
 from . import (ablations, adaptive_interval, area_budget, baselines,  # noqa: F401
                fig04_distinct_tuples, fig05_candidates, fig06_variation, fig07_single_hash,
                fig09_theory, fig10_multihash_design, fig12_best_multihash,
-               fig13_per_interval, fig14_edge, stratified_baseline,
-               table_size_ablation)
+               fig13_per_interval, fig14_edge, scenarios,
+               stratified_baseline, table_size_ablation)
 
 #: Where ``repro-experiments bench`` writes its timing row.
 BENCH_RESULT_PATH = os.path.join("benchmarks", "results",
@@ -217,10 +217,7 @@ def run_bench(args: argparse.Namespace) -> int:
         "warm_stats": warm_stats,
     })
 
-    os.makedirs(os.path.dirname(BENCH_RESULT_PATH), exist_ok=True)
-    with open(BENCH_RESULT_PATH, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
+    atomic_write_json(BENCH_RESULT_PATH, result)
     print(f"[bench] serial {serial_seconds:.1f}s | parallel cold "
           f"{cold_seconds:.1f}s (x{result['parallel_speedup']:.2f}) | "
           f"warm {warm_seconds:.1f}s "

@@ -1,0 +1,45 @@
+"""Atomic file-write helpers.
+
+Every result artifact the project writes -- bench JSON reports, scenario
+JSONL streams, materialized traces -- must never be observable
+half-written: CI jobs and concurrent suite runs read these files while
+other runs produce them.  All writers here stage into a temp file in the
+destination directory and ``os.replace`` it into place, so readers see
+either the old content or the new content, never a torn mix, and
+concurrent writers racing to the same path both succeed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Atomically replace *path* with *data* (parents created)."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "wb") as sink:
+            sink.write(data)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Atomically replace *path* with UTF-8 *text*."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str, payload: Any, indent: int = 2) -> None:
+    """Atomically write *payload* as pretty JSON with a trailing
+    newline -- the shared format of every ``BENCH_*.json`` report."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

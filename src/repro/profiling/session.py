@@ -182,25 +182,28 @@ class ProfilingSession:
         """Profile *source* and return scored results.
 
         Stream generators and traces take the chunked fast path; any
-        other iterable of tuples is consumed per event.  Generators are
-        endless, so *max_intervals* is required for them; traces and
-        iterables stop at exhaustion (a trailing partial interval is
-        discarded -- the paper's metrics are defined over full
+        other iterable of tuples is consumed per event.  Chunked
+        sources are recognized by a callable ``chunk`` attribute
+        (:class:`TupleStreamGenerator`,
+        :class:`~repro.workloads.scenarios.ScenarioStream`, ...); they
+        are endless, so *max_intervals* is required for them.  Traces
+        and iterables stop at exhaustion (a trailing partial interval
+        is discarded -- the paper's metrics are defined over full
         intervals only).
         """
-        if isinstance(source, TupleStreamGenerator):
-            if max_intervals is None:
-                raise ValueError(
-                    "max_intervals is required for endless stream "
-                    "generators")
-            return self._run_chunked(_GeneratorReader(source),
-                                     max_intervals)
         if isinstance(source, Trace):
             limit = max_intervals
             available = len(source) // self.interval.length
             return self._run_chunked(
                 _TraceReader(source),
                 available if limit is None else min(limit, available))
+        if callable(getattr(source, "chunk", None)):
+            if max_intervals is None:
+                raise ValueError(
+                    "max_intervals is required for endless stream "
+                    "generators")
+            return self._run_chunked(_GeneratorReader(source),
+                                     max_intervals)
         return self._run_events(source, max_intervals)
 
     # ------------------------------------------------------------------

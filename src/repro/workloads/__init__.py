@@ -4,9 +4,12 @@ from .benchmarks import (BENCHMARK_NAMES, EDGE_TARGETS, VALUE_TARGETS,
                          all_models, benchmark_generator, benchmark_model,
                          benchmark_stream, benchmark_targets)
 from .generators import HotBand, StreamModel, TupleStreamGenerator
+from .scenarios import (ScenarioConfig, ScenarioStream, dump_scenario,
+                        list_presets, load_scenario, load_scenario_text,
+                        write_jsonl)
 from .solver import (BenchmarkTargets, build_model, expected_candidates,
                      expected_distinct)
-from .trace_store import TraceStore, default_cache_dir
+from .trace_store import ScenarioKey, TraceStore, default_cache_dir
 from .traces import Trace, load_trace, record, save_trace
 
 __all__ = [
@@ -14,6 +17,9 @@ __all__ = [
     "BenchmarkTargets",
     "EDGE_TARGETS",
     "HotBand",
+    "ScenarioConfig",
+    "ScenarioKey",
+    "ScenarioStream",
     "StreamModel",
     "Trace",
     "TraceStore",
@@ -26,9 +32,14 @@ __all__ = [
     "benchmark_targets",
     "build_model",
     "default_cache_dir",
+    "dump_scenario",
     "expected_candidates",
     "expected_distinct",
+    "list_presets",
+    "load_scenario",
+    "load_scenario_text",
     "load_trace",
     "record",
     "save_trace",
+    "write_jsonl",
 ]

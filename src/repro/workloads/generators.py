@@ -99,6 +99,14 @@ class StreamModel:
     num_phases: int = 1
     phase_length: int = 1_000_000
     phase_overlap: float = 0.5
+    #: Geometric drift of the phase length: phase ``k`` lasts roughly
+    #: ``phase_length * phase_drift**k`` events (clamped to a factor of
+    #: 16 either way so the boundary schedule stays bounded).  ``1.0``
+    #: keeps the paper-style fixed-length phases; values above 1 model
+    #: a working set whose turnover slows relative to the profiling
+    #: interval, values below 1 one that speeds up -- the
+    #: "interval-length drift" scenario knob.
+    phase_drift: float = 1.0
     burstiness: float = 0.0
     #: Bursts apply only to the first this-many hot slots (``None`` =
     #: all).  The solver points this at the candidate bands so the warm
@@ -131,6 +139,9 @@ class StreamModel:
         if not 0.0 <= self.phase_overlap <= 1.0:
             raise ValueError(f"phase_overlap must be in [0, 1], got "
                              f"{self.phase_overlap}")
+        if not 0.0 < self.phase_drift:
+            raise ValueError(f"phase_drift must be positive, got "
+                             f"{self.phase_drift}")
         if not 0.0 <= self.burstiness < 1.0:
             raise ValueError(f"burstiness must be in [0, 1), got "
                              f"{self.burstiness}")
@@ -231,6 +242,10 @@ class TupleStreamGenerator:
         self._position = 0
         self._fresh_counter = 0
         self._burst_carry: int | None = None
+        # Drifting-phase boundary schedule, extended lazily (only used
+        # when phase_drift != 1; the fixed-length path stays modulo
+        # arithmetic, bit-identical to the pre-drift generator).
+        self._phase_boundaries: list[int] = [0]
         # Per-phase slot -> identity map, rotating each band
         # independently (see StreamModel.band_rotation).
         self._phase_identities = _build_phase_identities(model)
@@ -286,12 +301,35 @@ class TupleStreamGenerator:
             slots = self._apply_bursts(slots)
         if model.num_phases > 1:
             positions = self._position + np.nonzero(mask)[0]
-            phases = (positions // model.phase_length) % model.num_phases
+            phases = self._phase_of(positions)
             identities = self._phase_identities[phases, slots]
         else:
             identities = self._phase_identities[0, slots]
         pcs[mask] = self._hot_pcs[identities]
         values[mask] = self._hot_values[identities]
+
+    def _phase_of(self, positions: np.ndarray) -> np.ndarray:
+        """Phase index of each absolute stream position.
+
+        Fixed-length phases reduce to modulo arithmetic; with
+        ``phase_drift != 1`` the k-th phase lasts
+        ``clamp(phase_length * drift**k)`` events and positions are
+        located by bisecting the (lazily extended) boundary schedule.
+        """
+        model = self.model
+        if model.phase_drift == 1.0:
+            return (positions // model.phase_length) % model.num_phases
+        top = int(positions.max())
+        boundaries = self._phase_boundaries
+        while boundaries[-1] <= top:
+            ordinal = len(boundaries) - 1
+            length = model.phase_length * (model.phase_drift ** ordinal)
+            length = min(max(length, model.phase_length / 16, 1.0),
+                         model.phase_length * 16.0)
+            boundaries.append(boundaries[-1] + max(1, int(length)))
+        schedule = np.asarray(boundaries, dtype=np.int64)
+        ordinals = np.searchsorted(schedule, positions, side="right") - 1
+        return ordinals % model.num_phases
 
     def _apply_bursts(self, slots: np.ndarray) -> np.ndarray:
         """Cluster hot draws into geometric runs (carrying across chunks).

@@ -79,6 +79,31 @@ class TraceKey:
                 f"-L{self.interval_length}-S{self.seed}")
 
 
+@dataclass(frozen=True)
+class ScenarioKey:
+    """Identity of one materialized scenario stream.
+
+    Keyed on the **full scenario fingerprint** -- the SHA-256 of the
+    canonical config, which includes the seed -- plus the chunk
+    pattern (interval length and session chunk size).  Benchmark
+    streams key on ``(name, kind, length, seed)`` alone; a scenario
+    wrapping the same base model produces a *different* event stream,
+    so sharing those keys would let scenario streams alias cached
+    benchmark streams.  The ``scenario-`` stem prefix and the config
+    hash make the two namespaces disjoint.
+    """
+
+    fingerprint: str
+    kind: EventKind
+    interval_length: int
+    chunk_events: int
+
+    @property
+    def stem(self) -> str:
+        return (f"scenario-{self.fingerprint[:20]}-{self.kind.value}"
+                f"-L{self.interval_length}-C{self.chunk_events}")
+
+
 class TraceStore:
     """Materialize-once, replay-memory-mapped benchmark streams.
 
@@ -132,12 +157,45 @@ class TraceStore:
             trace = trace.slice(0, needed)
         return trace
 
-    def _load(self, key: TraceKey) -> Trace:
+    def get_scenario(self, config, num_intervals: Optional[int] = None,
+                     chunk_events: Optional[int] = None) -> Trace:
+        """A memory-mapped trace of a scenario stream.
+
+        *config* is a :class:`~repro.workloads.scenarios.ScenarioConfig`;
+        the stored file is keyed on its full fingerprint (config
+        SHA-256, seed included) plus the chunk pattern, so distinct
+        scenarios -- and scenarios vs. plain benchmarks -- never share
+        a cache entry.  Defaults to the scenario's own profile point.
+        """
+        from .scenarios import ScenarioStream, session_chunks
+
+        if num_intervals is None:
+            num_intervals = config.profile.intervals
+        if chunk_events is None:
+            chunk_events = _session_chunk_events()
+        interval_length = config.profile.interval_length
+        key = ScenarioKey(fingerprint=config.fingerprint(),
+                          kind=config.kind,
+                          interval_length=interval_length,
+                          chunk_events=chunk_events)
+        if self.stored_intervals(key) < num_intervals:
+            stream = ScenarioStream(config)
+            self._store_pieces(key, session_chunks(
+                stream, interval_length, num_intervals, chunk_events))
+        trace = self._load(key, source=f"scenario:{config.name}")
+        needed = interval_length * num_intervals
+        if len(trace) > needed:
+            trace = trace.slice(0, needed)
+        return trace
+
+    def _load(self, key, source: Optional[str] = None) -> Trace:
         pcs_path, values_path = self._paths(key)
+        if source is None:
+            source = f"benchmark:{key.benchmark}"
         return Trace(pcs=np.load(pcs_path, mmap_mode="r"),
                      values=np.load(values_path, mmap_mode="r"),
                      kind=key.kind,
-                     source=f"benchmark:{key.benchmark}")
+                     source=source)
 
     def _materialize(self, key: TraceKey, num_intervals: int) -> None:
         """Generate and atomically store *num_intervals* intervals."""
@@ -150,6 +208,10 @@ class TraceStore:
                 take = min(chunk_events, key.interval_length - pending)
                 pieces.append(generator.chunk(take))
                 pending += take
+        self._store_pieces(key, pieces)
+
+    def _store_pieces(self, key, pieces) -> None:
+        pieces = list(pieces)
         pcs = np.concatenate([piece_pcs for piece_pcs, _ in pieces])
         values = np.concatenate([piece_values for _, piece_values in pieces])
         os.makedirs(self.directory, exist_ok=True)

@@ -1,0 +1,225 @@
+"""Scenario config schema: round-trip fidelity and validation.
+
+Property-based: any valid config must survive
+``dataclass -> dict -> dataclass`` and
+``dataclass -> YAML -> dataclass`` exactly (the fingerprint is the
+cache identity, so a lossy round trip would silently split or merge
+cache entries); unknown keys must be rejected at every nesting level;
+omitted keys must fill documented defaults.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuples import EventKind
+from repro.workloads.scenarios import (AliasingSpec, BurstSpec,
+                                       HeavyTailSpec, ProfilePoint,
+                                       ScenarioConfig, StreamSpec,
+                                       dump_scenario, load_scenario,
+                                       load_scenario_text)
+
+#: Keep generated rates clear of the combined-rate ceiling.
+rates = st.floats(min_value=0.0, max_value=0.3,
+                  allow_nan=False, allow_infinity=False)
+
+aliasing_specs = st.builds(
+    AliasingSpec,
+    rate=rates,
+    cluster=st.integers(min_value=1, max_value=64),
+    index_bits=st.integers(min_value=4, max_value=14),
+    hash_seed=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    ordinal=st.integers(min_value=0, max_value=7))
+
+heavy_tail_specs = st.builds(
+    HeavyTailSpec,
+    rate=rates,
+    pool=st.integers(min_value=1, max_value=4096),
+    alpha=st.floats(min_value=0.2, max_value=3.0,
+                    allow_nan=False, allow_infinity=False))
+
+burst_specs = st.builds(
+    BurstSpec,
+    every=st.integers(min_value=0, max_value=100_000),
+    length=st.integers(min_value=1, max_value=4096))
+
+band_dicts = st.fixed_dictionaries({
+    "count": st.integers(min_value=1, max_value=32),
+    "top_share": st.just(0.01),
+    "bottom_share": st.just(0.005),
+})
+
+explicit_streams = st.builds(
+    StreamSpec,
+    bands=st.one_of(st.none(),
+                    st.tuples(band_dicts)),
+    recurring_mass=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=0.5,
+                             allow_nan=False)),
+    recurring_pool=st.one_of(st.none(),
+                             st.integers(min_value=1, max_value=8192)),
+    num_phases=st.one_of(st.none(),
+                         st.integers(min_value=1, max_value=8)),
+    phase_length=st.one_of(st.none(),
+                           st.integers(min_value=1_000,
+                                       max_value=1_000_000)),
+    phase_overlap=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=1.0,
+                             allow_nan=False)),
+    phase_drift=st.one_of(
+        st.none(), st.floats(min_value=0.25, max_value=4.0,
+                             allow_nan=False)),
+    burstiness=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=0.9,
+                             allow_nan=False)),
+    fresh_pc_count=st.one_of(st.none(),
+                             st.integers(min_value=1, max_value=256)))
+
+benchmark_streams = st.builds(
+    StreamSpec,
+    benchmark=st.sampled_from(["gcc", "li", "vortex", "m88ksim"]),
+    phase_drift=st.one_of(
+        st.none(), st.floats(min_value=0.25, max_value=4.0,
+                             allow_nan=False)))
+
+scenario_configs = st.builds(
+    ScenarioConfig,
+    name=st.text(alphabet="abcdefgh-_", min_size=1, max_size=16),
+    description=st.text(max_size=40),
+    kind=st.sampled_from([EventKind.VALUE, EventKind.EDGE]),
+    seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+    stream=st.one_of(explicit_streams, benchmark_streams),
+    aliasing=aliasing_specs,
+    heavy_tail=heavy_tail_specs,
+    bursts=burst_specs,
+    profile=st.builds(
+        ProfilePoint,
+        interval_length=st.integers(min_value=1_000, max_value=50_000),
+        threshold=st.sampled_from([0.001, 0.01, 0.02]),
+        intervals=st.integers(min_value=1, max_value=16)))
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(config=scenario_configs)
+    def test_dict_round_trip_is_exact(self, config):
+        assert ScenarioConfig.from_dict(config.to_dict()) == config
+
+    @settings(max_examples=60, deadline=None)
+    @given(config=scenario_configs)
+    def test_yaml_round_trip_is_exact(self, config):
+        assert load_scenario_text(dump_scenario(config)) == config
+
+    @settings(max_examples=60, deadline=None)
+    @given(config=scenario_configs)
+    def test_fingerprint_is_stable_and_seed_sensitive(self, config):
+        assert config.fingerprint() \
+            == ScenarioConfig.from_dict(config.to_dict()).fingerprint()
+        assert config.with_seed(config.seed + 1).fingerprint() \
+            != config.fingerprint()
+
+    @pytest.mark.parametrize("preset", ["stress_test", "adversarial"])
+    def test_presets_round_trip(self, preset):
+        config = load_scenario(preset)
+        assert load_scenario_text(dump_scenario(config)) == config
+
+
+class TestUnknownKeyRejection:
+    def test_top_level(self):
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            ScenarioConfig.from_dict({"name": "x", "bogus": 1})
+
+    def test_stream_level(self):
+        with pytest.raises(ValueError, match="unknown stream keys"):
+            ScenarioConfig.from_dict(
+                {"name": "x", "stream": {"bogus": 1}})
+
+    def test_inject_level(self):
+        with pytest.raises(ValueError, match="unknown inject keys"):
+            ScenarioConfig.from_dict(
+                {"name": "x", "inject": {"bogus": {}}})
+
+    @pytest.mark.parametrize("section", ["aliasing", "heavy_tail",
+                                         "bursts"])
+    def test_inject_subsections(self, section):
+        with pytest.raises(ValueError,
+                           match=f"unknown inject.{section} keys"):
+            ScenarioConfig.from_dict(
+                {"name": "x", "inject": {section: {"bogus": 1}}})
+
+    def test_profile_level(self):
+        with pytest.raises(ValueError, match="unknown profile keys"):
+            ScenarioConfig.from_dict(
+                {"name": "x", "profile": {"bogus": 1}})
+
+    def test_band_level(self):
+        with pytest.raises(ValueError, match="stream.bands entry"):
+            ScenarioConfig.from_dict(
+                {"name": "x",
+                 "stream": {"bands": [{"count": 2, "top_share": 0.02,
+                                       "bottom_share": 0.01,
+                                       "bogus": 1}]}})
+
+
+class TestDefaults:
+    def test_minimal_config_fills_defaults(self):
+        config = ScenarioConfig.from_dict({"name": "minimal"})
+        assert config.seed == 0
+        assert config.kind is EventKind.VALUE
+        assert config.aliasing.rate == 0.0
+        assert config.heavy_tail.rate == 0.0
+        assert config.bursts.every == 0
+        assert config.profile.interval_length == 10_000
+        assert config.profile.threshold == 0.01
+        assert config.stream.benchmark is None
+
+    def test_yaml_minimal(self):
+        config = load_scenario_text("name: minimal\n")
+        assert config == ScenarioConfig.from_dict({"name": "minimal"})
+
+    def test_name_is_required(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioConfig.from_dict({"seed": 3})
+
+
+class TestValidation:
+    def test_benchmark_excludes_explicit_model_fields(self):
+        with pytest.raises(ValueError, match="only phase_drift"):
+            ScenarioConfig.from_dict(
+                {"name": "x",
+                 "stream": {"benchmark": "gcc", "recurring_mass": 0.2}})
+
+    def test_benchmark_allows_phase_drift(self):
+        config = ScenarioConfig.from_dict(
+            {"name": "x",
+             "stream": {"benchmark": "gcc", "phase_drift": 1.5}})
+        assert config.stream.phase_drift == 1.5
+
+    def test_combined_injection_rate_capped(self):
+        with pytest.raises(ValueError, match="combined injection rate"):
+            ScenarioConfig.from_dict(
+                {"name": "x",
+                 "inject": {"aliasing": {"rate": 0.5},
+                            "heavy_tail": {"rate": 0.5}}})
+
+    @pytest.mark.parametrize("section,payload", [
+        ("aliasing", {"rate": -0.1}),
+        ("aliasing", {"rate": 0.1, "cluster": 0}),
+        ("heavy_tail", {"rate": 0.1, "alpha": 0.0}),
+        ("bursts", {"every": -1}),
+    ])
+    def test_bad_injection_values_rejected(self, section, payload):
+        with pytest.raises(ValueError):
+            ScenarioConfig.from_dict(
+                {"name": "x", "inject": {section: payload}})
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            ScenarioConfig.from_dict(
+                {"name": "x", "stream": {"benchmark": "nonesuch"}})
+
+    def test_unknown_preset_lists_alternatives(self):
+        with pytest.raises(ValueError, match="shipped presets"):
+            load_scenario("nonesuch")
