@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-kernels bench-experiments experiments examples clean
+.PHONY: install test bench bench-full bench-kernels bench-service bench-experiments experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,13 @@ bench-full:
 # a truncated BENCH_kernels.json behind.
 bench-kernels:
 	$(PYTHON) -m repro.cli bench -o benchmarks/results/BENCH_kernels.json
+
+# Service load harness: every shipped profile down both data planes
+# (legacy vs zero-copy fast path), with per-profile speedups and
+# digest-equality checks; writes benchmarks/results/BENCH_service.json.
+bench-service:
+	$(PYTHON) -m repro.cli loadgen --compare \
+		-o benchmarks/results/BENCH_service.json
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner all

@@ -28,6 +28,12 @@ Subcommands::
         Query a live snapshot of an open stream; ``--stats`` prints
         server and worker statistics instead.
 
+    repro-profile loadgen --compare --profile steady --profile bursty
+        Drive named workload profiles (steady, bursty, fan_in, mixed,
+        scenario_*) against an embedded server on both data planes and
+        write throughput/latency rows to
+        ``benchmarks/results/BENCH_service.json``.
+
     repro-profile scenario generate --config stress_test --seed 42
         Emit a scenario's JSONL event stream (``-o`` to a file,
         ``--store`` to materialize it in the shared trace store);
@@ -111,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--snapshot-intervals", type=int, default=64,
                        help="recent per-interval profiles kept per "
                             "stream (default 64)")
+    serve.add_argument("--data-plane", default="fast",
+                       choices=["fast", "legacy"],
+                       help="batch ingest path: zero-copy grouped "
+                            "handoff ('fast', default) or the "
+                            "pre-rewrite per-op path ('legacy')")
 
     push = commands.add_parser(
         "push", help="stream events into a running server")
@@ -175,6 +186,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_flags(validate)
     scenario_commands.add_parser(
         "list", help="list the shipped preset scenarios")
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive load profiles against the profile "
+                        "service (BENCH_service.json)")
+    loadgen.add_argument("--profile", action="append", default=None,
+                         dest="profiles", metavar="NAME",
+                         help="profile to run (repeatable; default: "
+                              "all shipped profiles; see --list)")
+    loadgen.add_argument("--list", action="store_true",
+                         help="list the shipped load profiles and exit")
+    loadgen.add_argument("--compare", action="store_true",
+                         help="run each profile down both data planes "
+                              "(legacy then fast) and report speedups")
+    loadgen.add_argument("--data-plane", default="fast",
+                         choices=["fast", "legacy"],
+                         help="server data plane for single-leg runs "
+                              "(default fast; ignored with --compare)")
+    loadgen.add_argument("--workers", type=int, default=2,
+                         help="shard worker processes (default 2)")
+    loadgen.add_argument("--max-pending", type=int, default=64,
+                         help="in-flight requests per worker before "
+                              "busy shedding (default 64)")
+    loadgen.add_argument("--streams", type=int, default=None,
+                         help="cap concurrent streams per profile")
+    loadgen.add_argument("--events", type=int, default=None,
+                         help="cap events per stream")
+    loadgen.add_argument("--quick", action="store_true",
+                         help="tiny operating points for CI smoke runs "
+                              "(32 streams, 1024 events/stream)")
+    loadgen.add_argument("-o", "--output",
+                         default="benchmarks/results/BENCH_service.json",
+                         help="result file (default benchmarks/results/"
+                              "BENCH_service.json); '-' to skip "
+                              "writing")
 
     snapshot = commands.add_parser(
         "snapshot", help="query a live stream snapshot or server stats")
@@ -359,7 +404,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     server = ProfileServer(host=args.host, port=args.port,
                            num_workers=args.workers,
                            max_pending=args.max_pending,
-                           snapshot_intervals=args.snapshot_intervals)
+                           snapshot_intervals=args.snapshot_intervals,
+                           data_plane=args.data_plane)
     server.start()
     print(f"profile server listening on {server.host}:{server.port} "
           f"({args.workers} workers; ctrl-c to drain and stop)",
@@ -780,6 +826,95 @@ def _timed(profiler, feed, pcs, values, spec, time) -> float:
     return time.perf_counter() - started
 
 
+#: Smoke-run caps applied by ``loadgen --quick``.
+_LOADGEN_QUICK_STREAMS = 32
+_LOADGEN_QUICK_EVENTS = 1024
+
+
+def _run_loadgen(args: argparse.Namespace) -> int:
+    """Run named load profiles; write ``BENCH_service.json``."""
+    from .loadgen import (PROFILES, compare_profiles, get_profile,
+                          list_profiles, run_profile)
+
+    if args.list:
+        for name in list_profiles():
+            profile = PROFILES[name]
+            print(f"{name}: {profile.streams} streams x "
+                  f"{profile.events_per_stream:,} events, "
+                  f"{profile.connections} connections -- "
+                  f"{profile.description}")
+        return 0
+    names = args.profiles or list_profiles()
+    profiles = [get_profile(name) for name in names]
+    streams_cap = args.streams
+    events_cap = args.events
+    if args.quick:
+        streams_cap = min(streams_cap or _LOADGEN_QUICK_STREAMS,
+                          _LOADGEN_QUICK_STREAMS)
+        events_cap = min(events_cap or _LOADGEN_QUICK_EVENTS,
+                         _LOADGEN_QUICK_EVENTS)
+    if streams_cap or events_cap:
+        profiles = [
+            profile.scaled(streams_cap or profile.streams,
+                           events_cap or profile.events_per_stream)
+            for profile in profiles]
+
+    def show(row):
+        print(f"{row['profile']:>24} [{row['data_plane']:>6}] "
+              f"{row['events_per_second']:>12,.0f} events/s  "
+              f"{row['requests_per_second']:>8,.0f} req/s  "
+              f"snapshot p50/p99 "
+              f"{row['snapshot_latency']['p50_ms']:.1f}/"
+              f"{row['snapshot_latency']['p99_ms']:.1f} ms  "
+              f"failures {row['failures']}")
+
+    report = {
+        "quick": bool(args.quick),
+        "workers": args.workers,
+        "max_pending": args.max_pending,
+        "profiles": {profile.name: {
+            "streams": profile.streams,
+            "events_per_stream": profile.events_per_stream,
+            "batch_events": profile.batch_events,
+            "coalesce": profile.coalesce,
+            "connections": profile.connections,
+            "source": profile.source,
+            "scenario": profile.scenario or None,
+            "description": profile.description,
+        } for profile in profiles},
+    }
+    if args.compare:
+        outcome = compare_profiles(profiles, num_workers=args.workers,
+                                   max_pending=args.max_pending)
+        for row in outcome["rows"]:
+            show(row)
+        for comparison in outcome["comparisons"]:
+            match = "ok" if comparison["digest_match"] else "MISMATCH"
+            print(f"{comparison['profile']:>24} speedup "
+                  f"{comparison['speedup']:.2f}x  digests {match}")
+        report.update(outcome)
+        mismatched = [comparison["profile"]
+                      for comparison in outcome["comparisons"]
+                      if not comparison["digest_match"]]
+        if mismatched:
+            print(f"error: legacy/fast digests diverge for: "
+                  f"{', '.join(mismatched)}", file=sys.stderr)
+            return 1
+    else:
+        rows = []
+        for profile in profiles:
+            row = run_profile(profile, data_plane=args.data_plane,
+                              num_workers=args.workers,
+                              max_pending=args.max_pending)
+            show(row)
+            rows.append(row)
+        report["rows"] = rows
+    if args.output != "-":
+        atomic_write_json(args.output, report)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _run_snapshot(args: argparse.Namespace) -> int:
     import json
 
@@ -807,7 +942,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"stream": _run_stream, "trace": _run_trace,
                 "record": _run_record, "serve": _run_serve,
                 "push": _run_push, "snapshot": _run_snapshot,
-                "bench": _run_bench, "scenario": _run_scenario}
+                "bench": _run_bench, "scenario": _run_scenario,
+                "loadgen": _run_loadgen}
     try:
         return handlers[args.command](args)
     except (ValueError, FileNotFoundError) as error:

@@ -21,11 +21,12 @@ See ``docs/SERVICE.md`` for the wire format and operational semantics.
 """
 
 from .client import ProfileClient, ServiceError
-from .protocol import PROTOCOL_VERSION, ProtocolError
+from .protocol import PROTOCOL_VERSION, FrameTooLarge, ProtocolError
 from .routing import HashRing
 from .server import ProfileServer
 
 __all__ = [
+    "FrameTooLarge",
     "HashRing",
     "PROTOCOL_VERSION",
     "ProfileClient",

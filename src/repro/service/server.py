@@ -11,11 +11,24 @@ Architecture::
 * Stream ids are routed to workers with a consistent-hash ring
   (:class:`~repro.service.routing.HashRing`); one worker owns all of a
   stream's state.
-* Backpressure is end-to-end: each worker's request queue is bounded
-  (``max_pending``); when it is full the server answers ``busy``
+* Backpressure is end-to-end: each worker bounds its in-flight
+  requests (``max_pending``); at the bound the server answers ``busy``
   instead of buffering without limit, and the client backs off.  On the
   reply side, a client that stops reading is shed: if its socket
   buffer stays full past ``drain_timeout`` the connection is closed.
+* The data plane has two selectable paths (``data_plane=``).  The
+  default ``"fast"`` path validates a batch frame's header only and
+  ships the whole payload buffer to the owning shard (no per-array
+  copies), packs every op submitted in one event-loop tick into a
+  single ``group`` queue put per worker, and receives folded replies
+  as one list per queue get.  ``"legacy"`` reproduces the pre-rewrite
+  plane -- per-op bounded-queue puts with the event arrays copied out
+  of each frame -- and exists so the load harness can measure one
+  against the other in the same binary.
+* An oversized-but-well-formed frame is answered with a framed
+  ``oversized`` error after draining its payload; the connection
+  survives.  Only unframeable byte streams (bad magic, unknown type)
+  drop the connection.
 * ``stop()`` drains gracefully: listeners close, every worker flushes
   the open interval of every open stream (so trailing events are
   scored and reported, not dropped), then the processes are joined.
@@ -63,9 +76,16 @@ class _WorkerHandle:
 
     def __init__(self, worker_id: int, max_pending: int,
                  snapshot_intervals: int,
-                 context: multiprocessing.context.BaseContext) -> None:
+                 context: multiprocessing.context.BaseContext,
+                 data_plane: str = "fast") -> None:
         self.worker_id = worker_id
-        self.requests = context.Queue(maxsize=max_pending)
+        self.data_plane = data_plane
+        self.max_pending = max_pending
+        # Fast plane: the queue itself is unbounded (one grouped put
+        # per tick) and backpressure is enforced on in-flight futures.
+        # Legacy plane: the bounded queue is the backpressure.
+        maxsize = 0 if data_plane == "fast" else max_pending
+        self.requests = context.Queue(maxsize=maxsize)
         self.replies = context.Queue()
         self.process = context.Process(
             target=worker_main,
@@ -76,6 +96,8 @@ class _WorkerHandle:
         self._futures: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
         self._ids = itertools.count()
         self._pump: Optional[threading.Thread] = None
+        self._pending: List[Dict[str, Any]] = []
+        self._flush_scheduled = False
 
     def start(self, loop: asyncio.AbstractEventLoop) -> None:
         self.process.start()
@@ -89,9 +111,19 @@ class _WorkerHandle:
             reply = self.replies.get()
             if reply is None:
                 break
+            # A list is one folded tick's replies; resolve them all in
+            # one hop onto the event loop.
+            batch = reply if isinstance(reply, list) else [reply]
+            try:
+                loop.call_soon_threadsafe(self._resolve_batch, batch)
+            except RuntimeError:
+                break  # loop closed mid-shutdown; nothing left to wake
+
+    def _resolve_batch(self, batch: List[Dict[str, Any]]) -> None:
+        for reply in batch:
             future = self._futures.pop(reply.get("req"), None)
-            if future is not None:
-                loop.call_soon_threadsafe(_resolve, future, reply)
+            if future is not None and not future.done():
+                future.set_result(reply)
 
     def submit(self, loop: asyncio.AbstractEventLoop,
                message: Dict[str, Any]
@@ -100,6 +132,17 @@ class _WorkerHandle:
         request_id = next(self._ids)
         message["req"] = request_id
         future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        if self.data_plane == "fast":
+            if len(self._futures) >= self.max_pending:
+                raise WorkerBusy(
+                    f"worker {self.worker_id} has "
+                    f"{len(self._futures)} requests in flight")
+            self._futures[request_id] = future
+            self._pending.append(message)
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                loop.call_soon(self._flush_pending)
+            return future
         self._futures[request_id] = future
         try:
             self.requests.put_nowait(message)
@@ -109,6 +152,17 @@ class _WorkerHandle:
                 f"worker {self.worker_id} has "
                 f"{self.requests.maxsize} requests pending") from None
         return future
+
+    def _flush_pending(self) -> None:
+        """Hand every op submitted this tick to the worker in one put."""
+        self._flush_scheduled = False
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        if len(pending) == 1:
+            self.requests.put(pending[0])
+        else:
+            self.requests.put({"op": "group", "ops": pending})
 
     def shutdown(self, timeout: float = 10.0) -> None:
         """Ask the worker to drain and exit, then stop the pump."""
@@ -125,12 +179,6 @@ class _WorkerHandle:
         self.replies.put(None)
         if self._pump is not None:
             self._pump.join(timeout)
-
-
-def _resolve(future: "asyncio.Future[Dict[str, Any]]",
-             reply: Dict[str, Any]) -> None:
-    if not future.done():
-        future.set_result(reply)
 
 
 class ProfileServer:
@@ -150,24 +198,33 @@ class ProfileServer:
         connection is closed.
     snapshot_intervals:
         Most recent per-interval profiles retained per stream.
+    data_plane:
+        ``"fast"`` (default) for zero-copy batch ingest with grouped
+        queue handoff, ``"legacy"`` for the pre-rewrite per-op path
+        (kept for before/after measurement; results are identical).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  num_workers: int = 2,
                  max_pending: int = MAX_PENDING,
                  drain_timeout: float = DRAIN_TIMEOUT,
-                 snapshot_intervals: int = SNAPSHOT_INTERVALS) -> None:
+                 snapshot_intervals: int = SNAPSHOT_INTERVALS,
+                 data_plane: str = "fast") -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, "
                              f"got {num_workers}")
+        if data_plane not in ("fast", "legacy"):
+            raise ValueError(f"data_plane must be 'fast' or 'legacy', "
+                             f"got {data_plane!r}")
         self.host = host
         self.port = port
         self.num_workers = num_workers
         self.drain_timeout = drain_timeout
+        self.data_plane = data_plane
         context = multiprocessing.get_context()
         self._workers = [
             _WorkerHandle(worker_id, max_pending, snapshot_intervals,
-                          context)
+                          context, data_plane)
             for worker_id in range(num_workers)]
         self._ring = HashRing(range(num_workers))
         self._streams: Dict[str, int] = {}
@@ -274,9 +331,21 @@ class ProfileServer:
                     break
                 try:
                     msg_type, length = protocol.decode_header(header)
-                    payload = await reader.readexactly(length)
-                except (asyncio.IncompleteReadError, ConnectionError):
-                    break
+                except protocol.FrameTooLarge as error:
+                    # The header parsed, so the stream is still in
+                    # sync: skip the declared payload, answer a clean
+                    # framed error, and keep serving the connection.
+                    self._protocol_errors += 1
+                    try:
+                        await self._drain_payload(reader, error.length)
+                    except (asyncio.IncompleteReadError,
+                            ConnectionError):
+                        break
+                    if not await self._send(writer, protocol.encode_json(
+                            protocol.T_ERROR,
+                            {"error": str(error), "code": "oversized"})):
+                        break
+                    continue
                 except ProtocolError as error:
                     # The byte stream is out of sync; answer once and
                     # drop the connection.
@@ -284,6 +353,10 @@ class ProfileServer:
                     await self._send(writer, protocol.encode_json(
                         protocol.T_ERROR,
                         {"error": str(error), "code": "protocol"}))
+                    break
+                try:
+                    payload = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError):
                     break
                 self._frames += 1
                 try:
@@ -311,6 +384,17 @@ class ProfileServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
+    @staticmethod
+    async def _drain_payload(reader: asyncio.StreamReader,
+                             length: int) -> None:
+        """Discard *length* payload bytes of a rejected frame."""
+        remaining = length
+        while remaining:
+            chunk = await reader.read(min(remaining, 1 << 20))
+            if not chunk:
+                raise asyncio.IncompleteReadError(b"", remaining)
+            remaining -= len(chunk)
+
     async def _send(self, writer: asyncio.StreamWriter,
                     frame: bytes) -> bool:
         """Write *frame*, shedding the client if it reads too slowly."""
@@ -329,10 +413,20 @@ class ProfileServer:
     async def _dispatch(self, msg_type: int, payload: bytes) -> bytes:
         loop = asyncio.get_running_loop()
         if msg_type == protocol.T_BATCH:
-            stream, pcs, values = protocol.decode_batch(payload)
-            reply = await self._worker_for(stream).submit(loop, {
-                "op": "batch", "stream": stream,
-                "pcs": pcs.tobytes(), "values": values.tobytes()})
+            if self.data_plane == "fast":
+                # Validate the header only and ship the payload whole:
+                # the worker builds its numpy views over this buffer,
+                # so the event arrays are never copied server-side.
+                stream, count, body_start = \
+                    protocol.parse_batch_header(payload)
+                op = {"op": "batch", "stream": stream,
+                      "buffer": payload, "count": count,
+                      "offset": body_start}
+            else:
+                stream, pcs, values = protocol.decode_batch(payload)
+                op = {"op": "batch", "stream": stream,
+                      "pcs": pcs.tobytes(), "values": values.tobytes()}
+            reply = await self._worker_for(stream).submit(loop, op)
             return self._reply_frame(reply)
         body = protocol.decode_json(payload)
         if msg_type == protocol.T_STATS:
@@ -384,6 +478,7 @@ class ProfileServer:
                 "host": self.host,
                 "port": self.port,
                 "num_workers": self.num_workers,
+                "data_plane": self.data_plane,
                 "connections_total": self._connections_total,
                 "connections_active": self._connections_active,
                 "frames": self._frames,

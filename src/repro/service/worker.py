@@ -41,6 +41,29 @@ MAX_FINISHED_STREAMS = 128
 MAX_BATCH_FOLD = 256
 
 
+def _batch_arrays(message: Dict[str, Any]) -> "tuple[np.ndarray, np.ndarray]":
+    """Decode one ``batch`` op's event arrays, either message shape.
+
+    The fast data plane ships the whole wire payload (``buffer`` plus
+    ``count``/``offset`` from :func:`~repro.service.protocol.
+    parse_batch_header``), so the arrays here are zero-copy views over
+    the single buffer that crossed the process boundary.  The legacy
+    shape carries the two arrays as separate ``pcs``/``values`` byte
+    strings copied out of the frame.
+    """
+    buffer = message.get("buffer")
+    if buffer is not None:
+        count = message["count"]
+        offset = message["offset"]
+        pcs = np.frombuffer(buffer, dtype=WIRE_DTYPE, count=count,
+                            offset=offset)
+        values = np.frombuffer(buffer, dtype=WIRE_DTYPE, count=count,
+                               offset=offset + count * WIRE_DTYPE.itemsize)
+        return pcs, values
+    return (np.frombuffer(message["pcs"], dtype=WIRE_DTYPE),
+            np.frombuffer(message["values"], dtype=WIRE_DTYPE))
+
+
 class _StreamState:
     """One open stream: its feeder plus per-stream accounting."""
 
@@ -169,10 +192,7 @@ class _Worker:
         items = []
         fed_events: Dict[str, int] = {}
         for stream in order:
-            arrays = [
-                (np.frombuffer(messages[i]["pcs"], dtype=WIRE_DTYPE),
-                 np.frombuffer(messages[i]["values"], dtype=WIRE_DTYPE))
-                for i in op_ids[stream]]
+            arrays = [_batch_arrays(messages[i]) for i in op_ids[stream]]
             if len(arrays) == 1:
                 pcs, values = arrays[0]
             else:
@@ -283,6 +303,11 @@ def worker_main(worker_id: int, requests, replies,
     Every request dict carries ``op`` and ``req`` (the correlation id
     echoed on the reply).  Unknown ops are answered with an error
     rather than crashing the shard.
+
+    The fast data plane packs many ops into one ``group`` message per
+    queue put; the group is unpacked onto the backlog in order, so one
+    dequeue (one pickle round trip) serves a whole server tick.  Folded
+    batch replies likewise travel back as one list per queue put.
     """
     # A terminal ctrl-c signals the whole foreground process group;
     # shutdown is coordinated by the server via the request queue, so
@@ -296,23 +321,37 @@ def worker_main(worker_id: int, requests, replies,
     while True:
         message = backlog.popleft() if backlog else requests.get()
         op = message.get("op")
+        if op == "group":
+            # One queue put carrying many ops (fast data plane);
+            # unpack in order ahead of anything still on the queue.
+            backlog.extendleft(reversed(message.get("ops") or ()))
+            continue
         if op == "shutdown":
             reply = worker.drain()
             reply["req"] = message.get("req")
             replies.put(reply)
             break
         if op == "batch":
-            # Fold every already-queued batch op into this tick so all
+            # Fold every already-pending batch op into this tick so all
             # the shard's pending streams share one kernel dispatch
-            # chain.  A non-batch op ends the fold (it is served next
-            # iteration via the backlog, preserving queue order).
+            # chain.  The backlog (unpacked groups) is drained first,
+            # then the queue; a non-batch op ends the fold (it is
+            # served next iteration, preserving arrival order).
             fold = [message]
-            while len(fold) < MAX_BATCH_FOLD and not backlog:
+            while len(fold) < MAX_BATCH_FOLD:
+                if backlog:
+                    if backlog[0].get("op") == "batch":
+                        fold.append(backlog.popleft())
+                        continue
+                    break
                 try:
                     pending = requests.get_nowait()
                 except queue.Empty:
                     break
-                if pending.get("op") == "batch":
+                pending_op = pending.get("op")
+                if pending_op == "group":
+                    backlog.extend(pending.get("ops") or ())
+                elif pending_op == "batch":
                     fold.append(pending)
                 else:
                     backlog.append(pending)
@@ -326,7 +365,11 @@ def worker_main(worker_id: int, requests, replies,
                     for _ in fold]
             for folded, reply in zip(fold, fold_replies):
                 reply["req"] = folded.get("req")
-                replies.put(reply)
+            # One queue put answers the whole tick.
+            if len(fold_replies) == 1:
+                replies.put(fold_replies[0])
+            else:
+                replies.put(fold_replies)
             continue
         try:
             if op == "open":

@@ -63,7 +63,7 @@ def profile_scenario(config, profiler_config, num_intervals=None):
 
 
 def test_presets_ship():
-    assert PRESETS == ["adversarial", "stress_test"]
+    assert PRESETS == ["adversarial", "heavy_hitters", "stress_test"]
 
 
 class TestDeterminism:

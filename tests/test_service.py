@@ -137,6 +137,69 @@ class TestProtocol:
         with pytest.raises(ProtocolError, match="object"):
             protocol.decode_json(b"[1, 2]")
 
+    def test_oversized_header_raises_frame_too_large(self):
+        header = protocol.HEADER.pack(protocol.MAGIC,
+                                      protocol.PROTOCOL_VERSION,
+                                      protocol.T_BATCH,
+                                      protocol.MAX_PAYLOAD + 7)
+        with pytest.raises(protocol.FrameTooLarge) as excinfo:
+            protocol.decode_header(header)
+        assert excinfo.value.length == protocol.MAX_PAYLOAD + 7
+        # The refinement must stay a ProtocolError: generic handlers
+        # that predate it keep working.
+        assert isinstance(excinfo.value, ProtocolError)
+
+    def test_decode_batch_is_zero_copy(self):
+        pcs = np.arange(64, dtype=np.uint64)
+        values = pcs + np.uint64(1 << 40)
+        payload = protocol.encode_batch(
+            "s", pcs, values)[protocol.HEADER.size:]
+        _, out_pcs, out_values = protocol.decode_batch(payload)
+        assert np.shares_memory(out_pcs, np.frombuffer(payload,
+                                                       dtype=np.uint8))
+        assert np.shares_memory(out_values, np.frombuffer(payload,
+                                                          dtype=np.uint8))
+
+    def test_decode_batch_accepts_memoryview_and_bytearray(self):
+        pcs = np.arange(16, dtype=np.uint64)
+        payload = protocol.encode_batch(
+            "s", pcs, pcs)[protocol.HEADER.size:]
+        for buffer in (memoryview(payload), bytearray(payload)):
+            stream, out_pcs, out_values = protocol.decode_batch(buffer)
+            assert stream == "s"
+            np.testing.assert_array_equal(out_pcs, pcs)
+            np.testing.assert_array_equal(out_values, pcs)
+
+    def test_coalesced_chunks_frame_equals_concatenated_batch(self):
+        rng = np.random.default_rng(5)
+        chunks = [
+            (rng.integers(1 << 48, size=n, dtype=np.uint64),
+             rng.integers(1 << 48, size=n, dtype=np.uint64))
+            for n in (100, 1, 57)]
+        coalesced = protocol.encode_batch_chunks("s", chunks)
+        merged = protocol.encode_batch(
+            "s", np.concatenate([pcs for pcs, _ in chunks]),
+            np.concatenate([values for _, values in chunks]))
+        assert coalesced == merged
+
+    def test_parse_batch_header_matches_decode(self):
+        pcs = np.arange(32, dtype=np.uint64)
+        payload = protocol.encode_batch(
+            "tenant-9", pcs, pcs)[protocol.HEADER.size:]
+        stream, count, body_start = protocol.parse_batch_header(payload)
+        assert (stream, count) == ("tenant-9", 32)
+        via_offset = np.frombuffer(payload, dtype=protocol.WIRE_DTYPE,
+                                   count=count, offset=body_start)
+        np.testing.assert_array_equal(via_offset, pcs)
+
+    def test_empty_chunk_list_rejected_by_stream_check(self):
+        # Zero chunks encode as a zero-event batch -- legal on the
+        # wire, matching an empty encode_batch.
+        frame = protocol.encode_batch_chunks("s", [])
+        stream, out_pcs, _ = protocol.decode_batch(
+            frame[protocol.HEADER.size:])
+        assert stream == "s" and len(out_pcs) == 0
+
 
 # ---------------------------------------------------------------------
 # Routing
@@ -371,6 +434,154 @@ class TestServer:
         assert snapshot["intervals"]
         assert snapshot["intervals"][-1]["candidates"]
         assert snapshot["summary"]["num_intervals"] == 3
+
+
+# ---------------------------------------------------------------------
+# Data-plane edges: oversized frames, partial reads, plane parity
+# ---------------------------------------------------------------------
+
+def _recv_frame(raw: socket.socket):
+    """Read one frame off a raw socket; returns (msg_type, body)."""
+    data = b""
+    while len(data) < protocol.HEADER.size:
+        piece = raw.recv(protocol.HEADER.size - len(data))
+        assert piece, "server closed mid-header"
+        data += piece
+    msg_type, length = protocol.decode_header(data)
+    payload = b""
+    while len(payload) < length:
+        piece = raw.recv(length - len(payload))
+        assert piece, "server closed mid-payload"
+        payload += piece
+    return msg_type, protocol.decode_json(payload)
+
+
+class TestDataPlaneEdges:
+    def test_oversized_frame_gets_clean_error_and_connection_survives(
+            self, monkeypatch):
+        stats_frame = protocol.encode_json(protocol.T_STATS, {})
+        monkeypatch.setattr(protocol, "MAX_PAYLOAD", 8192)
+        length = 16384  # over the patched limit; actually sent
+        oversized = protocol.HEADER.pack(
+            protocol.MAGIC, protocol.PROTOCOL_VERSION,
+            protocol.T_BATCH, length) + b"\x00" * length
+        with ProfileServer(num_workers=1) as server:
+            with socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=10) as raw:
+                raw.sendall(oversized)
+                msg_type, body = _recv_frame(raw)
+                assert msg_type == protocol.T_ERROR
+                assert body["code"] == "oversized"
+                # The stream stayed in sync: the same connection still
+                # serves well-formed requests.
+                raw.sendall(stats_frame)
+                msg_type, body = _recv_frame(raw)
+                assert msg_type == protocol.T_OK
+                assert body["server"]["protocol_errors"] == 1
+
+    @pytest.mark.parametrize("piece", [1, 3, 7])
+    def test_split_byte_feeds_parse_at_every_boundary(self, piece):
+        """Frames delivered *piece* bytes at a time -- partial reads at
+        every header and payload boundary -- must parse identically."""
+        pcs = np.arange(100, dtype=np.uint64)
+        wire = (protocol.encode_json(
+                    protocol.T_OPEN,
+                    {"stream": "drip", "config": CONFIG.to_dict()})
+                + protocol.encode_batch("drip", pcs, pcs)
+                + protocol.encode_json(protocol.T_SNAPSHOT,
+                                       {"stream": "drip"}))
+        with ProfileServer(num_workers=1) as server:
+            with socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=10) as raw:
+                replies = []
+                sent = 0
+                # Interleave sends and reads: the server replies per
+                # frame, so drain replies as frames complete.
+                raw.settimeout(10)
+                for start in range(0, len(wire), piece):
+                    raw.sendall(wire[start:start + piece])
+                for _ in range(3):
+                    replies.append(_recv_frame(raw))
+        assert [msg_type for msg_type, _ in replies] == \
+            [protocol.T_OK] * 3
+        snapshot = replies[2][1]["snapshot"]
+        assert snapshot["events"] == 100
+
+    def test_client_reads_dribbled_replies(self):
+        """The client's recv_into loop must survive 1-byte reads."""
+        reply = protocol.encode_json(protocol.T_OK, {"ok": True,
+                                                     "n": 7})
+
+        class DripSocket:
+            def __init__(self, data: bytes) -> None:
+                self.data = data
+                self.offset = 0
+
+            def recv_into(self, view) -> int:
+                if self.offset >= len(self.data):
+                    return 0
+                view[0:1] = self.data[self.offset:self.offset + 1]
+                self.offset += 1
+                return 1
+
+            def sendall(self, data: bytes) -> None:
+                pass
+
+        client = ProfileClient.__new__(ProfileClient)
+        client._recv_buffer = bytearray(4)  # forces regrowth too
+        client._socket = DripSocket(reply)
+        body = client._request(b"")
+        assert body == {"ok": True, "n": 7}
+
+    @pytest.mark.parametrize("data_plane", ["legacy", "fast"])
+    def test_both_planes_match_direct_run(self, data_plane):
+        trace = make_trace("gcc", seed=21, events=3 * INTERVAL.length)
+        direct = direct_run(trace)
+        with ProfileServer(num_workers=2,
+                           data_plane=data_plane) as server:
+            with ProfileClient(port=server.port) as client:
+                client.open_stream("plane", CONFIG)
+                client.push_trace("plane", trace, batch_events=777)
+                snapshot = client.close_stream("plane")
+        assert_matches_direct(snapshot, direct)
+
+    def test_coalesced_push_matches_single_frames(self):
+        trace = make_trace("li", seed=22, events=3 * INTERVAL.length)
+        snapshots = {}
+        for label, coalesce in (("single", 1), ("coalesced", 6)):
+            with ProfileServer(num_workers=1) as server:
+                with ProfileClient(port=server.port) as client:
+                    client.open_stream("c", CONFIG)
+                    client.push_trace("c", trace, batch_events=512,
+                                      coalesce=coalesce)
+                    snapshots[label] = client.close_stream("c")
+        for snapshot in snapshots.values():
+            snapshot.pop("batches", None)  # framing-dependent by design
+        assert snapshots["single"] == snapshots["coalesced"]
+
+    def test_grouped_ops_preserve_per_stream_order(self):
+        """Many tenants multiplexed on one connection down the fast
+        plane (grouped queue handoff) still apply each stream's
+        batches in order: every stream matches its direct run."""
+        streams = [f"order-{i}" for i in range(6)]
+        traces = {stream: make_trace("gcc", seed=30 + i,
+                                     events=2 * INTERVAL.length)
+                  for i, stream in enumerate(streams)}
+        direct = {stream: direct_run(trace)
+                  for stream, trace in traces.items()}
+        with ProfileServer(num_workers=2, data_plane="fast") as server:
+            with ProfileClient(port=server.port) as client:
+                for stream in streams:
+                    client.open_stream(stream, CONFIG)
+                for offset in range(0, 2 * INTERVAL.length, 500):
+                    for stream in streams:
+                        trace = traces[stream]
+                        client.push(stream,
+                                    trace.pcs[offset:offset + 500],
+                                    trace.values[offset:offset + 500])
+                for stream in streams:
+                    assert_matches_direct(client.close_stream(stream),
+                                          direct[stream])
 
 
 # ---------------------------------------------------------------------
